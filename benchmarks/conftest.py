@@ -1,0 +1,54 @@
+"""Shared fixtures and artifact helpers for the benchmark suite.
+
+Macro benchmarks (full placement runs) use ``benchmark.pedantic`` with a
+single round; micro benchmarks (kernels) use the default calibration.
+Every benchmark writes its table/series to ``benchmarks/results/`` so the
+reproduction artifacts survive the run.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.harness import load_design
+from repro.netlist import GeneratorSpec, generate_design
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_artifact(name: str, text: str) -> str:
+    """Persist a benchmark artifact and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def miniblue18():
+    """Smallest suite design - used by the ablation benchmarks."""
+    return load_design("miniblue18")
+
+
+@pytest.fixture(scope="session")
+def miniblue4():
+    """The design the paper's Figure 8 uses (superblue4 analogue)."""
+    return load_design("miniblue4")
+
+
+@pytest.fixture(scope="session")
+def kernel_design():
+    """A mid-size design with spread positions for kernel throughput."""
+    design = generate_design(
+        GeneratorSpec(name="kernels", n_cells=800, depth=14, seed=3)
+    )
+    rng = np.random.default_rng(0)
+    x = design.cell_x + rng.normal(0, 8, design.n_cells)
+    y = design.cell_y + rng.normal(0, 8, design.n_cells)
+    x[design.cell_fixed] = design.cell_x[design.cell_fixed]
+    y[design.cell_fixed] = design.cell_y[design.cell_fixed]
+    return design, x, y

@@ -1,0 +1,79 @@
+"""Ablation: TNS-only vs WNS-only vs combined objective (Equation (6)).
+
+The paper's objective carries both a TNS and a WNS term.  This benchmark
+disables each term in turn on miniblue18.  Expected shape: the TNS-only
+variant leaves WNS on the table; the WNS-only variant fixates on the
+single worst path and recovers less TNS; the combined objective is the
+best TNS/WNS compromise (and is what Table 3 uses).
+"""
+
+import pytest
+from conftest import write_artifact
+
+from repro.core import (
+    TimingDrivenPlacer,
+    TimingObjectiveOptions,
+    TimingPlacerOptions,
+)
+from repro.place import GlobalPlacer, PlacerOptions
+from repro.sta import run_sta
+
+VARIANTS = {
+    "tns_only": dict(tns_grad_frac=0.08, wns_grad_frac=0.0),
+    "wns_only": dict(tns_grad_frac=0.0, wns_grad_frac=0.05),
+    "combined": dict(tns_grad_frac=0.08, wns_grad_frac=0.05),
+}
+
+
+@pytest.fixture(scope="module")
+def sweep(miniblue18):
+    rows = {}
+    base = GlobalPlacer(miniblue18, PlacerOptions(max_iters=600)).run()
+    rb = run_sta(miniblue18, base.x, base.y)
+    rows["baseline"] = {
+        "wns": rb.wns_setup,
+        "tns": rb.tns_setup,
+        "hpwl": base.hpwl,
+        "stop": base.stop_reason,
+    }
+    for name, overrides in VARIANTS.items():
+        opts = TimingPlacerOptions(
+            placer=PlacerOptions(max_iters=600),
+            timing=TimingObjectiveOptions(**overrides),
+            sta_in_trace=False,
+        )
+        result = TimingDrivenPlacer(miniblue18, opts).run()
+        final = run_sta(miniblue18, result.x, result.y)
+        rows[name] = {
+            "wns": final.wns_setup,
+            "tns": final.tns_setup,
+            "hpwl": result.hpwl,
+            "stop": result.stop_reason,
+        }
+    return rows
+
+
+def test_objective_ablation_artifact(benchmark, sweep):
+    lines = [f"{'variant':<10} {'WNS':>10} {'TNS':>12} {'HPWL':>10}  stop"]
+    for name, r in sweep.items():
+        lines.append(
+            f"{name:<10} {r['wns']:>10.1f} {r['tns']:>12.1f} "
+            f"{r['hpwl']:>10.1f}  {r['stop']}"
+        )
+    write_artifact("ablation_objective.txt", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_each_term_beats_baseline_on_its_metric(sweep):
+    assert sweep["tns_only"]["tns"] > sweep["baseline"]["tns"]
+    assert sweep["wns_only"]["wns"] > sweep["baseline"]["wns"]
+
+
+def test_combined_improves_both_metrics(sweep):
+    assert sweep["combined"]["wns"] > sweep["baseline"]["wns"]
+    assert sweep["combined"]["tns"] > sweep["baseline"]["tns"]
+
+
+def test_all_variants_converge(sweep):
+    for name, r in sweep.items():
+        assert r["stop"] == "overflow", f"{name} stopped by {r['stop']}"

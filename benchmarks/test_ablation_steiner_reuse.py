@@ -1,0 +1,82 @@
+"""Ablation: Steiner-tree reuse period (Section 3.6).
+
+The paper calls FLUTE every 10 iterations and updates Steiner points from
+their owner pins in between (Figure 4), trading a small gradient error for
+a large runtime saving.  This benchmark sweeps the rebuild period on
+miniblue18 and reports placement runtime, RSMT call count and final
+timing.  Expected shape: runtime drops as the period grows; quality stays
+flat through period ~10 and may degrade for very stale trees.
+"""
+
+import pytest
+from conftest import write_artifact
+
+from repro.core import (
+    TimingDrivenPlacer,
+    TimingObjectiveOptions,
+    TimingPlacerOptions,
+)
+from repro.place import PlacerOptions
+from repro.sta import run_sta
+
+PERIODS = (1, 10, 40)
+
+
+@pytest.fixture(scope="module")
+def sweep(miniblue18):
+    rows = []
+    for period in PERIODS:
+        opts = TimingPlacerOptions(
+            placer=PlacerOptions(max_iters=600),
+            timing=TimingObjectiveOptions(rsmt_period=period),
+            sta_in_trace=False,
+        )
+        placer = TimingDrivenPlacer(miniblue18, opts)
+        result = placer.run()
+        final = run_sta(miniblue18, result.x, result.y)
+        rows.append(
+            {
+                "period": period,
+                "runtime": result.runtime,
+                "rsmt_calls": placer.objective.n_rsmt_calls,
+                "timer_calls": placer.objective.n_timer_calls,
+                "wns": final.wns_setup,
+                "tns": final.tns_setup,
+                "stop": result.stop_reason,
+            }
+        )
+    return rows
+
+
+def test_steiner_reuse_artifact(benchmark, sweep):
+    lines = [
+        f"{'period':>7} {'runtime(s)':>11} {'RSMT calls':>11} "
+        f"{'timer calls':>12} {'WNS':>10} {'TNS':>12}"
+    ]
+    for r in sweep:
+        lines.append(
+            f"{r['period']:>7} {r['runtime']:>11.2f} {r['rsmt_calls']:>11} "
+            f"{r['timer_calls']:>12} {r['wns']:>10.1f} {r['tns']:>12.1f}"
+        )
+    write_artifact("ablation_steiner_reuse.txt", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_rsmt_calls_scale_inversely_with_period(sweep):
+    by_period = {r["period"]: r for r in sweep}
+    assert by_period[1]["rsmt_calls"] > 5 * by_period[10]["rsmt_calls"]
+    assert by_period[10]["rsmt_calls"] > by_period[40]["rsmt_calls"]
+
+
+def test_reuse_saves_runtime(sweep):
+    by_period = {r["period"]: r for r in sweep}
+    assert by_period[10]["runtime"] < by_period[1]["runtime"]
+
+
+def test_quality_tolerates_period_ten(sweep):
+    """Period-10 reuse (the paper's setting) keeps TNS within 15% of
+    rebuilding every iteration."""
+    by_period = {r["period"]: r for r in sweep}
+    fresh = abs(by_period[1]["tns"])
+    reused = abs(by_period[10]["tns"])
+    assert reused < 1.15 * fresh

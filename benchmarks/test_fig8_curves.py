@@ -1,0 +1,94 @@
+"""Figure 8 reproduction: optimization curves on miniblue4.
+
+Collects HPWL / density overflow / WNS / TNS per iteration for plain
+DREAMPlace and for our timing-driven placer, writes the text panel and a
+CSV artifact, and asserts the figure's qualitative shape:
+
+- both placers' overflow curves descend to the stop criterion and nearly
+  coincide (the timing objective does not disturb spreading);
+- HPWL curves stay close (within a modest margin);
+- the timing curves separate in later iterations in our favour.
+"""
+
+import numpy as np
+import pytest
+from conftest import write_artifact
+
+from repro.harness.curves import format_fig8, run_fig8, to_csv
+from repro.harness.plots import curves_svg, placement_svg, save_svg
+from repro.harness.suite import load_design
+
+
+@pytest.fixture(scope="module")
+def fig8_data():
+    return run_fig8("miniblue4", max_iters=600)
+
+
+def test_fig8_artifacts(benchmark, fig8_data):
+    write_artifact("fig8_curves.txt", format_fig8(fig8_data, step=20))
+    write_artifact("fig8_curves.csv", to_csv(fig8_data))
+    benchmark.pedantic(
+        format_fig8, args=(fig8_data,), kwargs={"step": 20}, rounds=1, iterations=1
+    )
+
+
+def test_fig8_svg_panels(fig8_data):
+    """SVG renderings of the four Figure 8 panels + final placements."""
+    import os
+
+    from conftest import RESULTS_DIR
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for metric, ylabel in (
+        ("hpwl", "HPWL (um)"),
+        ("overflow", "density overflow"),
+        ("wns", "WNS (ps)"),
+        ("tns", "TNS (ps)"),
+    ):
+        series = {
+            mode: fig8_data.panel(metric, mode) for mode in fig8_data.series
+        }
+        svg = curves_svg(
+            series, title=f"{fig8_data.design}: {metric}", ylabel=ylabel
+        )
+        save_svg(svg, os.path.join(RESULTS_DIR, f"fig8_{metric}.svg"))
+    design = load_design(fig8_data.design)
+    for mode, rec in fig8_data.records.items():
+        svg = placement_svg(
+            design, rec.x, rec.y, title=f"{fig8_data.design} ({mode})"
+        )
+        save_svg(svg, os.path.join(RESULTS_DIR, f"placement_{mode}.svg"))
+
+
+def test_overflow_curves_descend_and_coincide(fig8_data):
+    final = {}
+    for mode in ("dreamplace", "ours"):
+        its, ovf = fig8_data.panel("overflow", mode)
+        assert ovf[0] > 0.8
+        final[mode] = ovf[-1]
+    assert abs(final["dreamplace"] - final["ours"]) < 0.1
+
+
+def test_hpwl_curves_stay_close(fig8_data):
+    base = fig8_data.records["dreamplace"].hpwl
+    ours = fig8_data.records["ours"].hpwl
+    assert ours < 1.25 * base
+
+
+def test_timing_curves_separate_in_our_favour(fig8_data):
+    ours = fig8_data.records["ours"]
+    base = fig8_data.records["dreamplace"]
+    assert ours.wns > base.wns
+    assert ours.tns > base.tns
+    # Mid-flight (after timing kicks in) our WNS curve should already be
+    # above the baseline's at matching iterations.
+    its_b, wns_b = fig8_data.panel("wns", "dreamplace")
+    its_o, wns_o = fig8_data.panel("wns", "ours")
+    common = sorted(set(its_b.tolist()) & set(its_o.tolist()))
+    late = [it for it in common if it >= 0.7 * common[-1]]
+    wins = 0
+    for it in late:
+        b = wns_b[np.nonzero(its_b == it)[0][0]]
+        o = wns_o[np.nonzero(its_o == it)[0][0]]
+        wins += int(o >= b)
+    assert wins >= len(late) * 0.6

@@ -1,0 +1,115 @@
+"""Extension flow: GP -> legalization -> timing-driven detailed placement.
+
+Not a paper table (the paper stops at global placement) but the natural
+end of its pipeline: the incremental-STA-driven detailed placer should
+recover additional WNS/TNS on the *legalized* placement at zero legality
+cost, and the incremental engine should be an order of magnitude cheaper
+per evaluation than a full STA call.
+"""
+
+import time
+
+import pytest
+from conftest import write_artifact
+
+from repro.core import TimingDrivenPlacer, TimingPlacerOptions
+from repro.place import (
+    DetailedPlacerOptions,
+    PlacerOptions,
+    TimingDrivenDetailedPlacer,
+    legalize,
+    max_overlap,
+)
+from repro.place import BufferingOptions, TimingDrivenBufferizer
+from repro.sta import IncrementalTimer, StaticTimingAnalyzer, run_sta
+
+
+@pytest.fixture(scope="module")
+def flow(miniblue18):
+    design = miniblue18
+    gp = TimingDrivenPlacer(
+        design,
+        TimingPlacerOptions(placer=PlacerOptions(max_iters=600), sta_in_trace=False),
+    ).run()
+    lx, ly = legalize(design, gp.x, gp.y)
+    lg_sta = run_sta(design, lx, ly)
+    dp = TimingDrivenDetailedPlacer(
+        design, DetailedPlacerOptions(passes=1, n_critical_paths=6)
+    )
+    dp_result = dp.run(lx, ly)
+    buf = TimingDrivenBufferizer(BufferingOptions(max_buffers=5)).run(
+        design, dp_result.x, dp_result.y
+    )
+    return design, gp, (lx, ly), lg_sta, dp_result, buf
+
+
+def test_flow_artifact(benchmark, flow):
+    design, gp, (lx, ly), lg_sta, dp_result, buf = flow
+    lines = [
+        f"{'stage':<22} {'WNS':>10} {'TNS':>12}",
+        f"{'global placement':<22} {run_sta(design, gp.x, gp.y).wns_setup:>10.1f} "
+        f"{run_sta(design, gp.x, gp.y).tns_setup:>12.1f}",
+        f"{'legalized':<22} {lg_sta.wns_setup:>10.1f} {lg_sta.tns_setup:>12.1f}",
+        f"{'detailed placement':<22} {dp_result.wns_after:>10.1f} "
+        f"{dp_result.tns_after:>12.1f}",
+        f"{'buffered':<22} {buf.wns_after:>10.1f} {buf.tns_after:>12.1f}",
+        f"moves accepted: {dp_result.n_accepted}/{dp_result.n_trials}; "
+        f"buffers inserted: {buf.n_inserted}/{buf.n_trials} trials",
+    ]
+    write_artifact("flow_detailed.txt", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_detailed_placement_recovers_timing(flow):
+    design, gp, (lx, ly), lg_sta, dp_result, buf = flow
+    assert dp_result.wns_after >= dp_result.wns_before - 1e-6
+    assert dp_result.tns_after > dp_result.tns_before
+    assert max_overlap(design, dp_result.x, dp_result.y) < 1e-9
+
+
+def test_bench_incremental_move(benchmark, flow):
+    design, gp, (lx, ly), lg_sta, dp_result, buf = flow
+    timer = IncrementalTimer(design)
+    timer.reset(lx, ly)
+    import numpy as np
+
+    movable = np.nonzero(~design.cell_fixed)[0]
+    rng = np.random.default_rng(0)
+    state = {"toggle": 1.0}
+
+    def one_move():
+        ci = int(rng.choice(movable))
+        state["toggle"] = -state["toggle"]
+        timer.move([ci], [timer.x[ci] + state["toggle"]], [timer.y[ci]])
+
+    benchmark(one_move)
+
+
+def test_incremental_cheaper_than_full_sta(flow):
+    design, gp, (lx, ly), lg_sta, dp_result, buf = flow
+    timer = IncrementalTimer(design)
+    timer.reset(lx, ly)
+    sta = StaticTimingAnalyzer(design, timer.graph)
+    import numpy as np
+
+    movable = np.nonzero(~design.cell_fixed)[0]
+    rng = np.random.default_rng(1)
+
+    t0 = time.perf_counter()
+    for _ in range(10):
+        ci = int(rng.choice(movable))
+        timer.move([ci], [timer.x[ci] + 0.5], [timer.y[ci]])
+    t_inc = (time.perf_counter() - t0) / 10
+
+    t0 = time.perf_counter()
+    for _ in range(3):
+        sta.run(timer.x, timer.y)
+    t_full = (time.perf_counter() - t0) / 3
+    assert t_inc < t_full / 3
+
+
+def test_buffering_never_degrades(flow):
+    design, gp, (lx, ly), lg_sta, dp_result, buf = flow
+    score_before = buf.tns_before + 50.0 * buf.wns_before
+    score_after = buf.tns_after + 50.0 * buf.wns_after
+    assert score_after >= score_before - 1e-6

@@ -1,0 +1,65 @@
+"""Scaling: placement and timer cost versus design size.
+
+Not a paper table, but supports its runtime discussion: the levelised
+kernels should scale near-linearly with pin count, so the whole flow stays
+usable as designs grow.
+"""
+
+import pytest
+from conftest import write_artifact
+
+from repro.harness import run_mode
+from repro.netlist import GeneratorSpec, generate_design
+from repro.place import PlacerOptions
+
+SIZES = (300, 1000, 2400)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for n in SIZES:
+        design = generate_design(
+            GeneratorSpec(name=f"scale{n}", n_cells=n, depth=14, seed=n)
+        )
+        base = run_mode(design, "dreamplace", PlacerOptions(max_iters=600))
+        ours = run_mode(design, "ours", PlacerOptions(max_iters=600))
+        rows.append(
+            {
+                "cells": design.n_cells,
+                "pins": design.n_pins,
+                "base_runtime": base.runtime,
+                "ours_runtime": ours.runtime,
+                "overhead": ours.runtime / max(base.runtime, 1e-9),
+                "base_wns": base.wns,
+                "ours_wns": ours.wns,
+            }
+        )
+    return rows
+
+
+def test_scaling_artifact(benchmark, sweep):
+    lines = [
+        f"{'#cells':>7} {'#pins':>7} {'base t(s)':>10} {'ours t(s)':>10} "
+        f"{'overhead':>9} {'base WNS':>10} {'ours WNS':>10}"
+    ]
+    for r in sweep:
+        lines.append(
+            f"{r['cells']:>7} {r['pins']:>7} {r['base_runtime']:>10.2f} "
+            f"{r['ours_runtime']:>10.2f} {r['overhead']:>9.2f} "
+            f"{r['base_wns']:>10.1f} {r['ours_wns']:>10.1f}"
+        )
+    write_artifact("placer_scaling.txt", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_runtime_scales_subquadratically(sweep):
+    small, large = sweep[0], sweep[-1]
+    size_ratio = large["pins"] / small["pins"]
+    time_ratio = large["ours_runtime"] / max(small["ours_runtime"], 1e-9)
+    assert time_ratio < size_ratio**2
+
+
+def test_timing_win_holds_at_every_size(sweep):
+    for r in sweep:
+        assert r["ours_wns"] > r["base_wns"]

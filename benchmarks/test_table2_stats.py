@@ -1,0 +1,36 @@
+"""Table 2 reproduction: benchmark-suite statistics.
+
+Generates the full miniblue suite, prints its #cells/#nets/#pins next to
+the superblue numbers of the paper's Table 2, and asserts that the
+relative size ordering of the paper is preserved.  The benchmark measures
+the generation throughput of one suite design.
+"""
+
+from conftest import write_artifact
+
+from repro.harness import SUITE, format_table2, load_design, suite_statistics
+
+
+def test_table2_statistics_artifact():
+    rows = suite_statistics()
+    text = format_table2(rows)
+    write_artifact("table2_stats.txt", text)
+
+    # The miniblue suite must preserve superblue's relative ordering.
+    ours = [r["cells"] for r in rows]
+    paper = [r["superblue_cells"] for r in rows]
+    for i in range(len(rows)):
+        for j in range(len(rows)):
+            if paper[i] < 0.9 * paper[j]:
+                assert ours[i] < ours[j], (
+                    f"{rows[i]['benchmark']} should be smaller than "
+                    f"{rows[j]['benchmark']}"
+                )
+    # Pins per cell in a sane standard-cell range.
+    for r in rows:
+        assert 2.0 < r["pins"] / r["cells"] < 4.0
+
+
+def test_generate_miniblue18(benchmark):
+    design = benchmark(load_design, "miniblue18")
+    assert design.n_cells > 900

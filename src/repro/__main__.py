@@ -1,0 +1,149 @@
+"""Top-level command-line interface.
+
+Subcommands::
+
+    python -m repro generate --cells 800 --depth 14 --seed 1 --out DIR
+        Generate a synthetic benchmark and save it as a full design
+        bundle (.v/.lib/.sdc/.def + manifest).
+
+    python -m repro place --bundle DIR --mode ours [--max-iters 600]
+        Load a bundle, run one of the three placers (dreamplace /
+        netweight / ours), legalize, save the placement back as DEF and
+        print the timing report.
+
+    python -m repro sta --bundle DIR [--hold] [--propagated-clock]
+        Analyse a bundle's stored placement and print the timing report
+        with the slack histogram.
+
+    python -m repro bench ...
+        Forwarded to ``python -m repro.harness`` (Table 2/3, Figure 8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+
+def _cmd_generate(args) -> int:
+    from .netlist import GeneratorSpec, generate_design, save_design
+
+    spec = GeneratorSpec(
+        name=args.name,
+        n_cells=args.cells,
+        depth=args.depth,
+        seed=args.seed,
+        utilization=args.utilization,
+    )
+    design = generate_design(spec)
+    manifest = save_design(design, args.out)
+    print(f"generated {design}")
+    print(f"bundle written to {os.path.dirname(os.path.abspath(manifest))}")
+    return 0
+
+
+def _cmd_place(args) -> int:
+    from .harness.runners import run_mode
+    from .netlist import load_design_bundle, save_design
+    from .place import PlacerOptions, legalize, max_overlap
+    from .sta import report_design, run_sta
+
+    design, _, _ = load_design_bundle(args.bundle)
+    record = run_mode(
+        design, args.mode, placer_options=PlacerOptions(max_iters=args.max_iters)
+    )
+    print(record.summary())
+    x, y = record.x, record.y
+    if not args.skip_legalize:
+        x, y = legalize(design, x, y)
+        assert max_overlap(design, x, y) < 1e-9
+        print("legalized (no overlaps)")
+    out = args.out if args.out else args.bundle
+    save_design(design, out, x, y)
+    print(f"placed bundle written to {out}")
+    print()
+    print(report_design(run_sta(design, x, y)))
+    return 0
+
+
+def _cmd_sta(args) -> int:
+    from .netlist import load_design_bundle
+    from .sta import format_path, report_design, run_sta, worst_paths
+
+    design, x, y = load_design_bundle(args.bundle)
+    result = run_sta(
+        design,
+        x,
+        y,
+        compute_hold=args.hold,
+        propagated_clock=args.propagated_clock,
+        wire_delay_model=args.wire_model,
+    )
+    print(report_design(result))
+    if args.hold:
+        print(
+            f"\nhold: WNS = {result.wns_hold:.1f} ps, "
+            f"TNS = {result.tns_hold:.1f} ps"
+        )
+    if result.clock is not None:
+        print(f"clock skew (propagated): {result.clock.skew:.2f} ps")
+    if args.paths:
+        print()
+        for path in worst_paths(result, args.paths):
+            print(format_path(path))
+            print()
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        from .harness.__main__ import main as bench_main
+
+        return bench_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Differentiable-timing-driven global placement "
+        "(DAC 2022 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic benchmark")
+    p_gen.add_argument("--name", default="generated")
+    p_gen.add_argument("--cells", type=int, default=800)
+    p_gen.add_argument("--depth", type=int, default=14)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--utilization", type=float, default=0.7)
+    p_gen.add_argument("--out", required=True, help="bundle directory")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_place = sub.add_parser("place", help="place a design bundle")
+    p_place.add_argument("--bundle", required=True)
+    p_place.add_argument(
+        "--mode", choices=("dreamplace", "netweight", "ours"), default="ours"
+    )
+    p_place.add_argument("--max-iters", type=int, default=600)
+    p_place.add_argument("--skip-legalize", action="store_true")
+    p_place.add_argument("--out", default=None, help="output bundle dir")
+    p_place.set_defaults(func=_cmd_place)
+
+    p_sta = sub.add_parser("sta", help="analyse a design bundle")
+    p_sta.add_argument("--bundle", required=True)
+    p_sta.add_argument("--hold", action="store_true")
+    p_sta.add_argument("--propagated-clock", action="store_true")
+    p_sta.add_argument(
+        "--wire-model", choices=("elmore", "d2m"), default="elmore"
+    )
+    p_sta.add_argument("--paths", type=int, default=0, help="report K paths")
+    p_sta.set_defaults(func=_cmd_sta)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Differentiable cell-delay propagation - Equations (11)-(12) of the paper.
+
+Cell arcs are characterised by NLDM lookup tables indexed by (input slew,
+output load).  Fan-in arrival times and slews are merged with the smoothed
+maximum of Equation (5):
+
+    Delay_u(v) = LUT_cell(Slew(u), Load(v))
+    Slew_u(v)  = LUT_transition(Slew(u), Load(v))
+    AT(v)      = LSE_gamma over u of { AT(u) + Delay_u(v) }
+    Slew(v)    = LSE_gamma over u of { Slew_u(v) }
+
+The backward kernel uses the softmax identity ``w_i = exp((x_i - LSE) /
+gamma)`` to recover merge weights without storing them, then chains through
+the LUT-interpolation gradients of Figure 6 into source slews and net loads
+(Equation (12)).  Kernels operate on one level's slice of the graph's
+contribution table; per-contribution LUT values and partial derivatives are
+recorded in the caller's tape arrays during the forward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sta.nldm import LutBank
+from .smoothing import segment_lse_max
+
+__all__ = ["cell_forward_level", "cell_backward_level"]
+
+_SENTINEL = -1e30
+
+
+def cell_forward_level(
+    sl: slice,
+    src: np.ndarray,
+    dst: np.ndarray,
+    tin: np.ndarray,
+    tout: np.ndarray,
+    lut_delay: np.ndarray,
+    lut_slew: np.ndarray,
+    lutbank: LutBank,
+    driver_load: np.ndarray,
+    gamma: float,
+    at: np.ndarray,
+    slew: np.ndarray,
+    tape_at_cand: np.ndarray,
+    tape_slew_cand: np.ndarray,
+    tape_dd_dslew: np.ndarray,
+    tape_dd_dload: np.ndarray,
+    tape_ds_dslew: np.ndarray,
+    tape_ds_dload: np.ndarray,
+) -> None:
+    """Forward cell propagation with LSE merge for one level (in place).
+
+    ``sl`` slices the level's contributions out of the graph tables; the
+    ``tape_*`` arrays (full contribution length) receive the candidate
+    values and LUT partials needed by the backward pass.
+    """
+    s, d = src[sl], dst[sl]
+    ti, to = tin[sl], tout[sl]
+    slew_in = np.clip(slew[s, ti], 0.0, 1e6)
+    load = driver_load[d]
+    delay, dd_ds, dd_dl = lutbank.lookup_with_grad(lut_delay[sl], slew_in, load)
+    out_slew, ds_ds, ds_dl = lutbank.lookup_with_grad(lut_slew[sl], slew_in, load)
+
+    at_cand = at[s, ti] + delay
+    tape_at_cand[sl] = at_cand
+    tape_slew_cand[sl] = out_slew
+    tape_dd_dslew[sl] = dd_ds
+    tape_dd_dload[sl] = dd_dl
+    tape_ds_dslew[sl] = ds_ds
+    tape_ds_dload[sl] = ds_dl
+
+    n_pins = at.shape[0]
+    seg = d * 2 + to
+    merged_at = segment_lse_max(at_cand, seg, n_pins * 2, gamma)
+    merged_slew = segment_lse_max(out_slew, seg, n_pins * 2, gamma)
+    touched = np.unique(seg)
+    at.reshape(-1)[touched] = merged_at[touched]
+    slew.reshape(-1)[touched] = merged_slew[touched]
+
+
+def cell_backward_level(
+    sl: slice,
+    src: np.ndarray,
+    dst: np.ndarray,
+    tin: np.ndarray,
+    tout: np.ndarray,
+    gamma: float,
+    at: np.ndarray,
+    slew: np.ndarray,
+    tape_at_cand: np.ndarray,
+    tape_slew_cand: np.ndarray,
+    tape_dd_dslew: np.ndarray,
+    tape_dd_dload: np.ndarray,
+    tape_ds_dslew: np.ndarray,
+    tape_ds_dload: np.ndarray,
+    g_at: np.ndarray,
+    g_slew: np.ndarray,
+    g_load: np.ndarray,
+) -> None:
+    """Backward cell propagation for one level (Equation (12), in place).
+
+    The gradients of the level's sink pins (``g_at``/``g_slew`` at ``dst``)
+    must be final before this call.  Accumulates into source-pin AT/slew
+    gradients and per-pin net-load gradients.
+    """
+    s, d = src[sl], dst[sl]
+    ti, to = tin[sl], tout[sl]
+    seg_at = at[d, to]
+    seg_slew = slew[d, to]
+
+    # Softmax weights via the identity w_i = exp((x_i - LSE) / gamma).
+    w_at = np.exp(np.maximum((tape_at_cand[sl] - seg_at) / gamma, -700.0))
+    w_slew = np.exp(np.maximum((tape_slew_cand[sl] - seg_slew) / gamma, -700.0))
+
+    g_cand_at = w_at * g_at[d, to]  # == g over (AT(u) + Delay_u(v))
+    g_cand_slew = w_slew * g_slew[d, to]
+
+    # AT(u) receives the merge weight directly (Eq. 12a).
+    np.add.at(g_at, (s, ti), g_cand_at)
+    # Slew(u) via both LUT x-derivatives (Eq. 12d).
+    np.add.at(
+        g_slew,
+        (s, ti),
+        g_cand_at * tape_dd_dslew[sl] + g_cand_slew * tape_ds_dslew[sl],
+    )
+    # Load(v) via both LUT y-derivatives (Eq. 12e).
+    np.add.at(
+        g_load,
+        d,
+        g_cand_at * tape_dd_dload[sl] + g_cand_slew * tape_ds_dload[sl],
+    )

@@ -1,0 +1,330 @@
+"""The differentiable STA engine (Section 3 of the paper).
+
+:class:`DifferentiableTimer` computes smoothed TNS/WNS *and their exact
+gradients with respect to every cell location*, treating the timing graph
+as a deep network (Figure 2):
+
+forward  (Figure 3, left-to-right):
+    pin locations -> Steiner trees -> Elmore delay/impulse/load ->
+    levelised AT/slew propagation (LSE-merged) -> endpoint slacks ->
+    smoothed TNS/WNS;
+
+backward (Figure 3, blue edges, right-to-left):
+    d(TNS,WNS)/d(slack) -> level-by-level adjoints of cell and net arcs ->
+    Elmore adjoints (4 reverse DP passes) -> node coordinates -> pins
+    (Steiner gradients routed to owner pins, Figure 4) -> cell locations.
+
+The engine is hand-backpropagated; no autograd framework is involved.
+Every stage is validated against central finite differences in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..netlist.design import Design
+from ..netlist.library import FALL, RISE
+from ..route.rsmt import build_forest
+from ..route.tree import Forest
+from ..sta.elmore import (
+    WIRE_DELAY_MODELS,
+    ElmoreResult,
+    d2m_delay,
+    elmore_forward,
+    node_caps,
+)
+from ..sta.graph import TimingGraph
+from .cell_prop import cell_backward_level, cell_forward_level
+from .elmore_grad import elmore_backward
+from .net_prop import net_backward_level, net_forward_level
+from .smoothing import lse_min, soft_clamp_neg, soft_clamp_neg_grad
+
+__all__ = ["DifferentiableTimer", "TimerTape"]
+
+_SENTINEL = -1e30
+
+
+@dataclass
+class TimerTape:
+    """Everything the backward pass needs from one forward evaluation."""
+
+    forest: Forest
+    elmore: ElmoreResult
+    at: np.ndarray  # (n_pins, 2)
+    slew: np.ndarray  # (n_pins, 2)
+    net_delay: np.ndarray  # (n_pins,)
+    impulse2: np.ndarray  # (n_pins,)
+    driver_load: np.ndarray  # (n_pins,)
+    # Per-contribution tape (global contribution order):
+    at_cand: np.ndarray
+    slew_cand: np.ndarray
+    dd_dslew: np.ndarray
+    dd_dload: np.ndarray
+    ds_dslew: np.ndarray
+    ds_dload: np.ndarray
+    # Endpoint data:
+    ep_slack_t: np.ndarray  # (n_endpoints, 2)
+    ep_slack: np.ndarray  # (n_endpoints,) transition-softmin slack
+    setup_dsetup_dslew: np.ndarray  # (n_setup, 2)
+    tns: float
+    wns: float
+
+    @property
+    def wns_exact_of_smoothed(self) -> float:
+        """Hard min over the (smoothed-propagation) endpoint slacks."""
+        return float(self.ep_slack_t.min()) if self.ep_slack_t.size else 0.0
+
+
+class DifferentiableTimer:
+    """Differentiable timing engine over a fixed design/timing graph."""
+
+    def __init__(
+        self,
+        design: Design,
+        graph: Optional[TimingGraph] = None,
+        gamma: float = 20.0,
+        wire_delay_model: str = "elmore",
+    ) -> None:
+        self.design = design
+        self.graph = graph if graph is not None else TimingGraph(design)
+        self.gamma = float(gamma)
+        if wire_delay_model not in WIRE_DELAY_MODELS:
+            raise ValueError(
+                f"unknown wire delay model {wire_delay_model!r}; "
+                f"expected one of {WIRE_DELAY_MODELS}"
+            )
+        self.wire_delay_model = wire_delay_model
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        cell_x: Optional[np.ndarray] = None,
+        cell_y: Optional[np.ndarray] = None,
+        forest: Optional[Forest] = None,
+    ) -> TimerTape:
+        """Evaluate smoothed TNS/WNS at the given cell locations."""
+        design = self.design
+        graph = self.graph
+        gamma = self.gamma
+        x = design.cell_x if cell_x is None else cell_x
+        y = design.cell_y if cell_y is None else cell_y
+        if forest is None:
+            forest = build_forest(design, x, y)
+
+        px, py = design.pin_positions(x, y)
+        nx, ny = forest.node_coords(px, py)
+        caps = node_caps(forest, design.pin_cap, graph.extra_pin_cap)
+        elm = elmore_forward(forest, nx, ny, caps, design.library.wire)
+
+        n_pins = design.n_pins
+        net_delay = np.zeros(n_pins)
+        impulse2 = np.zeros(n_pins)
+        mask = forest.node_pin >= 0
+        pins = forest.node_pin[mask]
+        if self.wire_delay_model == "d2m":
+            net_delay[pins] = d2m_delay(elm.delay[mask], elm.beta[mask])
+        else:
+            net_delay[pins] = elm.delay[mask]
+        impulse2[pins] = np.maximum(2.0 * elm.beta[mask] - elm.delay[mask] ** 2, 0.0)
+        driver_load = elm.root_load(forest, n_pins)
+
+        at = np.full((n_pins, 2), _SENTINEL)
+        slew = np.zeros((n_pins, 2))
+        sp = graph.start_pins
+        at[sp] = graph.start_at[sp]
+        slew[sp] = graph.start_slew[sp]
+
+        n_contribs = len(graph.c_dst)
+        tape = TimerTape(
+            forest=forest,
+            elmore=elm,
+            at=at,
+            slew=slew,
+            net_delay=net_delay,
+            impulse2=impulse2,
+            driver_load=driver_load,
+            at_cand=np.zeros(n_contribs),
+            slew_cand=np.zeros(n_contribs),
+            dd_dslew=np.zeros(n_contribs),
+            dd_dload=np.zeros(n_contribs),
+            ds_dslew=np.zeros(n_contribs),
+            ds_dload=np.zeros(n_contribs),
+            ep_slack_t=np.zeros((graph.n_endpoints, 2)),
+            ep_slack=np.zeros(graph.n_endpoints),
+            setup_dsetup_dslew=np.zeros((len(graph.setup_d), 2)),
+            tns=0.0,
+            wns=0.0,
+        )
+
+        for level in range(1, graph.n_levels):
+            sl = graph.net_arcs.level_slice(level)
+            if sl.stop > sl.start:
+                net_forward_level(
+                    graph.net_sink[sl], graph.net_src[sl],
+                    net_delay, impulse2, at, slew,
+                )
+            sl = graph.cell_arcs.level_slice(level)
+            if sl.stop > sl.start:
+                cell_forward_level(
+                    sl, graph.c_src, graph.c_dst, graph.c_tin, graph.c_tout,
+                    graph.c_lut_delay, graph.c_lut_slew, graph.lutbank,
+                    driver_load, gamma, at, slew,
+                    tape.at_cand, tape.slew_cand,
+                    tape.dd_dslew, tape.dd_dload,
+                    tape.ds_dslew, tape.ds_dload,
+                )
+
+        # ------------------------------------------------------------------
+        # Endpoint slacks, smoothed TNS/WNS.
+        # ------------------------------------------------------------------
+        period = design.constraints.clock_period
+        n_setup = len(graph.setup_d)
+        rat = np.zeros((graph.n_endpoints, 2))
+        if n_setup:
+            for t in (RISE, FALL):
+                setup_time, dsu_ds, _ = graph.lutbank.lookup_with_grad(
+                    graph.setup_lut[:, t],
+                    np.clip(slew[graph.setup_d, t], 0.0, 1e6),
+                    np.full(n_setup, graph.clock_slew),
+                )
+                rat[:n_setup, t] = period - setup_time
+                tape.setup_dsetup_dslew[:, t] = dsu_ds
+        if len(graph.po_pins):
+            rat[n_setup:] = (period - graph.po_output_delay)[:, None]
+
+        tape.ep_slack_t = rat - at[graph.endpoint_pins]
+        # Softmin across the two transitions per endpoint.
+        tape.ep_slack = lse_min(tape.ep_slack_t, gamma, axis=1)
+        tape.tns = float(soft_clamp_neg(tape.ep_slack, gamma).sum())
+        tape.wns = float(lse_min(tape.ep_slack, gamma))
+        return tape
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def backward(
+        self,
+        tape: TimerTape,
+        d_tns: float = 1.0,
+        d_wns: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gradient of ``d_tns * TNS + d_wns * WNS`` w.r.t. cell centers.
+
+        For the placement objective of Equation (6), which *minimises*
+        ``t1 * (-TNS) + t2 * (-WNS)``, call with ``d_tns=-t1, d_wns=-t2``.
+        """
+        design = self.design
+        graph = self.graph
+        gamma = self.gamma
+        n_pins = design.n_pins
+        at, slew = tape.at, tape.slew
+
+        # Seeds: d objective / d endpoint slack.
+        g_sep = d_tns * soft_clamp_neg_grad(tape.ep_slack, gamma)
+        if d_wns != 0.0 and tape.ep_slack.size:
+            w_ep = np.exp(
+                np.maximum((tape.wns - tape.ep_slack) / gamma, -700.0)
+            )
+            g_sep = g_sep + d_wns * w_ep
+        # Transition softmin weights.
+        w_t = np.exp(
+            np.maximum(
+                (tape.ep_slack[:, None] - tape.ep_slack_t) / gamma, -700.0
+            )
+        )
+        g_slack_t = g_sep[:, None] * w_t  # (n_ep, 2)
+
+        g_at = np.zeros((n_pins, 2))
+        g_slew = np.zeros((n_pins, 2))
+        g_load = np.zeros(n_pins)
+        g_net_delay = np.zeros(n_pins)
+        g_impulse2 = np.zeros(n_pins)
+
+        # slack = rat - at;  for setup endpoints rat = T - setup(slew_D).
+        ep = graph.endpoint_pins
+        np.add.at(g_at, (ep[:, None], np.array([[RISE, FALL]])), -g_slack_t)
+        n_setup = len(graph.setup_d)
+        if n_setup:
+            np.add.at(
+                g_slew,
+                (graph.setup_d[:, None], np.array([[RISE, FALL]])),
+                -g_slack_t[:n_setup] * tape.setup_dsetup_dslew,
+            )
+
+        for level in range(graph.n_levels - 1, 0, -1):
+            sl = graph.cell_arcs.level_slice(level)
+            if sl.stop > sl.start:
+                cell_backward_level(
+                    sl, graph.c_src, graph.c_dst, graph.c_tin, graph.c_tout,
+                    gamma, at, slew,
+                    tape.at_cand, tape.slew_cand,
+                    tape.dd_dslew, tape.dd_dload,
+                    tape.ds_dslew, tape.ds_dload,
+                    g_at, g_slew, g_load,
+                )
+            sl = graph.net_arcs.level_slice(level)
+            if sl.stop > sl.start:
+                net_backward_level(
+                    graph.net_sink[sl], graph.net_src[sl],
+                    slew, g_at, g_slew, g_net_delay, g_impulse2,
+                )
+
+        # Map per-pin gradients onto forest nodes and run Elmore backward.
+        forest = tape.forest
+        g_delay_ext = np.zeros(forest.n_nodes)
+        g_imp2_ext = np.zeros(forest.n_nodes)
+        g_load_ext = np.zeros(forest.n_nodes)
+        mask = forest.node_pin >= 0
+        pins = forest.node_pin[mask]
+        g_imp2_ext[mask] = g_impulse2[pins]
+        g_load_ext[mask] = g_load[pins]  # nonzero only at driver (root) pins
+        g_beta_ext = None
+        if self.wire_delay_model == "d2m":
+            # d2m = ln2 * m1^2 / sqrt(m2): chain the net-delay gradient
+            # into both moments.
+            m1 = tape.elmore.delay[mask]
+            m2 = np.maximum(tape.elmore.beta[mask], 1e-30)
+            valid = tape.elmore.beta[mask] > 0
+            dd_dm1 = np.where(valid, 2.0 * np.log(2.0) * m1 / np.sqrt(m2), 0.0)
+            dd_dm2 = np.where(
+                valid, -0.5 * np.log(2.0) * m1 * m1 / m2**1.5, 0.0
+            )
+            g_delay_ext[mask] = g_net_delay[pins] * dd_dm1
+            g_beta_ext = np.zeros(forest.n_nodes)
+            g_beta_ext[mask] = g_net_delay[pins] * dd_dm2
+        else:
+            g_delay_ext[mask] = g_net_delay[pins]
+
+        g_nx, g_ny = elmore_backward(
+            forest, tape.elmore, design.library.wire,
+            g_delay_ext, g_imp2_ext, g_load_ext, g_beta_ext,
+        )
+        g_px, g_py = forest.scatter_coord_grad(g_nx, g_ny)
+
+        # Pins move rigidly with their cells.
+        g_cx = np.zeros(design.n_cells)
+        g_cy = np.zeros(design.n_cells)
+        np.add.at(g_cx, design.pin2cell, g_px)
+        np.add.at(g_cy, design.pin2cell, g_py)
+        g_cx[design.cell_fixed] = 0.0
+        g_cy[design.cell_fixed] = 0.0
+        return g_cx, g_cy
+
+    # ------------------------------------------------------------------
+    def tns_wns_with_grad(
+        self,
+        cell_x: np.ndarray,
+        cell_y: np.ndarray,
+        forest: Optional[Forest] = None,
+        d_tns: float = 1.0,
+        d_wns: float = 0.0,
+    ):
+        """One-call forward + backward; returns (tns, wns, g_x, g_y, tape)."""
+        tape = self.forward(cell_x, cell_y, forest)
+        g_cx, g_cy = self.backward(tape, d_tns=d_tns, d_wns=d_wns)
+        return tape.tns, tape.wns, g_cx, g_cy, tape

@@ -1,0 +1,132 @@
+"""Backward (gradient) pass of the Elmore delay model - Equation (8).
+
+The forward model (:func:`repro.sta.elmore.elmore_forward`) is four tree
+dynamic-programming passes; the backward pass mirrors them in reverse order
+(Figure 5 of the paper): the adjoint of each bottom-up pass is a top-down
+pass and vice versa.  Given gradients of the objective with respect to the
+per-node Elmore delay, squared impulse, and driver (root) load, this module
+produces gradients with respect to node coordinates, which the caller then
+scatters onto pins (Steiner points route to their coordinate-owner pins,
+Figure 4).
+
+Derivation sketch (``g`` denotes d objective / d quantity):
+
+- ``impulse^2 = 2 beta - delay^2``  =>  ``g_beta += 2 g_imp2``,
+  ``g_delay -= 2 delay g_imp2``;
+- pass 4 reverse (bottom-up):  ``g_ldelay += res * g_beta``,
+  ``g_res += ldelay * g_beta``,  ``g_beta[parent] += g_beta``;
+- pass 3 reverse (top-down):   ``g_ldelay += g_ldelay[parent]``, then
+  ``g_cap += delay * g_ldelay``, ``g_delay += cap * g_ldelay``;
+- pass 2 reverse (bottom-up):  ``g_res += load * g_delay``,
+  ``g_load += res * g_delay``,  ``g_delay[parent] += g_delay``;
+- pass 1 reverse (top-down):   ``g_load += g_load[parent]``, then
+  ``g_cap += g_load``;
+- finally ``res = r_unit * len`` and the half-lumped wire capacitance give
+  ``g_len = r_unit * g_res + (c_unit / 2)(g_cap(u) + g_cap(parent))`` and
+  rectilinear length differentiates into coordinate signs.
+
+Every step is validated against central finite differences in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..netlist.library import WireModel
+from ..route.tree import Forest
+from ..sta.elmore import ElmoreResult
+
+__all__ = ["elmore_backward"]
+
+
+def elmore_backward(
+    forest: Forest,
+    elm: ElmoreResult,
+    wire: WireModel,
+    g_delay_ext: np.ndarray,
+    g_imp2_ext: np.ndarray,
+    g_load_ext: np.ndarray,
+    g_beta_ext: np.ndarray = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backpropagate Elmore gradients to node coordinates.
+
+    Parameters
+    ----------
+    g_delay_ext, g_imp2_ext:
+        d objective / d(delay, impulse^2) per forest node (typically
+        nonzero at sink-pin nodes, from net-delay propagation).
+    g_load_ext:
+        d objective / d(root load) per node (nonzero at root nodes, from
+        the LUT load inputs of the driving cell arcs).
+    g_beta_ext:
+        Optional direct d objective / d(beta) per node; used by moment-
+        based wire metrics such as D2M that consume the second moment
+        beyond its appearance in ``impulse^2``.
+
+    Returns
+    -------
+    (g_node_x, g_node_y):
+        Gradients with respect to the node coordinates used in the
+        forward pass.
+    """
+    parent = forest.parent
+    levels = forest.levels
+
+    g_beta = 2.0 * g_imp2_ext
+    if g_beta_ext is not None:
+        g_beta = g_beta + g_beta_ext
+    g_delay = g_delay_ext - 2.0 * elm.delay * g_imp2_ext
+    g_ldelay = np.zeros(forest.n_nodes)
+    g_load = g_load_ext.copy()
+    g_cap = np.zeros(forest.n_nodes)
+    g_res = np.zeros(forest.n_nodes)  # gradient of the edge-to-parent res
+
+    # Reverse of pass 4 (Beta top-down) -> bottom-up sweep.
+    for level in reversed(levels[1:]):
+        g_ldelay[level] += elm.edge_res[level] * g_beta[level]
+        g_res[level] += elm.ldelay[level] * g_beta[level]
+        np.add.at(g_beta, parent[level], g_beta[level])
+
+    # Reverse of pass 3 (LDelay bottom-up) -> top-down sweep; apply the
+    # local adjoints once each node's accumulated g_ldelay is final.
+    roots = np.nonzero(forest.is_root)[0]
+    g_cap[roots] += elm.delay[roots] * g_ldelay[roots]
+    g_delay[roots] += elm.cap[roots] * g_ldelay[roots]
+    for level in levels[1:]:
+        g_ldelay[level] += g_ldelay[parent[level]]
+        g_cap[level] += elm.delay[level] * g_ldelay[level]
+        g_delay[level] += elm.cap[level] * g_ldelay[level]
+
+    # Reverse of pass 2 (Delay top-down) -> bottom-up sweep.
+    for level in reversed(levels[1:]):
+        g_res[level] += elm.load[level] * g_delay[level]
+        g_load[level] += elm.edge_res[level] * g_delay[level]
+        np.add.at(g_delay, parent[level], g_delay[level])
+
+    # Reverse of pass 1 (Load bottom-up) -> top-down sweep.
+    g_cap[roots] += g_load[roots]
+    for level in levels[1:]:
+        g_load[level] += g_load[parent[level]]
+        g_cap[level] += g_load[level]
+
+    # Chain into edge lengths:  res = r * len;  each edge's wire cap is
+    # half-lumped onto both endpoints.
+    g_len = wire.res_per_um * g_res
+    hp = forest.has_parent
+    g_len[hp] += 0.5 * wire.cap_per_um * (g_cap[hp] + g_cap[parent[hp]])
+
+    # Rectilinear length -> coordinates (sign subgradient at zero).
+    g_x = np.zeros(forest.n_nodes)
+    g_y = np.zeros(forest.n_nodes)
+    p = parent[hp]
+    sx = np.sign(elm.node_x[hp] - elm.node_x[p])
+    sy = np.sign(elm.node_y[hp] - elm.node_y[p])
+    contrib_x = sx * g_len[hp]
+    contrib_y = sy * g_len[hp]
+    np.add.at(g_x, np.nonzero(hp)[0], contrib_x)
+    np.add.at(g_y, np.nonzero(hp)[0], contrib_y)
+    np.add.at(g_x, p, -contrib_x)
+    np.add.at(g_y, p, -contrib_y)
+    return g_x, g_y

@@ -1,0 +1,64 @@
+"""Differentiable net-delay propagation - Equations (9)-(10) of the paper.
+
+A net arc carries the signal from a net's driver pin to one sink pin:
+
+    AT(v)   = AT(u) + Delay(v)
+    Slew(v) = sqrt(Slew(u)^2 + Impulse(v)^2)
+
+Each pin has at most one fan-in net arc, so no smoothing is needed here;
+the backward kernel distributes the sink gradients onto the driver AT/slew
+and onto the Elmore delay / squared-impulse of the sink (Equation (10)).
+Both kernels operate on one level's slice of the graph's net-arc table.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["net_forward_level", "net_backward_level"]
+
+
+def net_forward_level(
+    sinks: np.ndarray,
+    srcs: np.ndarray,
+    net_delay: np.ndarray,
+    impulse2: np.ndarray,
+    at: np.ndarray,
+    slew: np.ndarray,
+) -> None:
+    """Forward net propagation for the arcs of one level (in place).
+
+    ``at``/``slew`` are the full ``(n_pins, 2)`` arrays; ``net_delay`` and
+    ``impulse2`` are per-pin Elmore outputs at sink pins.
+    """
+    at[sinks] = at[srcs] + net_delay[sinks][:, None]
+    slew[sinks] = np.sqrt(slew[srcs] ** 2 + impulse2[sinks][:, None])
+
+
+def net_backward_level(
+    sinks: np.ndarray,
+    srcs: np.ndarray,
+    slew: np.ndarray,
+    g_at: np.ndarray,
+    g_slew: np.ndarray,
+    g_net_delay: np.ndarray,
+    g_impulse2: np.ndarray,
+) -> None:
+    """Backward net propagation for one level (Equation (10), in place).
+
+    Accumulates into the driver-pin gradients and the per-pin Elmore
+    gradients; the sink gradients in ``g_at``/``g_slew`` must already be
+    final (higher levels processed first).
+    """
+    g_at_sink = g_at[sinks]  # (k, 2)
+    np.add.at(g_at, srcs, g_at_sink)
+    g_net_delay[sinks] += g_at_sink.sum(axis=1)
+
+    slew_sink = slew[sinks]
+    slew_src = slew[srcs]
+    safe = np.maximum(slew_sink, 1e-12)
+    g_slew_sink = g_slew[sinks]
+    np.add.at(g_slew, srcs, (slew_src / safe) * g_slew_sink)
+    g_impulse2[sinks] += (g_slew_sink / (2.0 * safe)).sum(axis=1)

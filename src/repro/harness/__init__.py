@@ -1,0 +1,29 @@
+"""Experiment harness: benchmark suite, runners, tables, curves."""
+
+from .suite import SUITE, SuiteEntry, format_table2, load_design, suite_statistics
+from .runners import MODES, RunRecord, run_mode
+from .table3 import Table3Result, average_ratios, format_table3, run_table3
+from .curves import CurveData, format_fig8, run_fig8, to_csv
+from .plots import curves_svg, placement_svg, save_svg
+
+__all__ = [
+    "SUITE",
+    "SuiteEntry",
+    "format_table2",
+    "load_design",
+    "suite_statistics",
+    "MODES",
+    "RunRecord",
+    "run_mode",
+    "Table3Result",
+    "average_ratios",
+    "format_table3",
+    "run_table3",
+    "CurveData",
+    "format_fig8",
+    "run_fig8",
+    "to_csv",
+    "curves_svg",
+    "placement_svg",
+    "save_svg",
+]

@@ -1,0 +1,60 @@
+"""Command-line entry point: reproduce the paper's evaluation.
+
+Usage::
+
+    python -m repro.harness                 # Table 2 + subset Table 3
+    python -m repro.harness --full          # all 8 designs (minutes)
+    python -m repro.harness --fig8          # also collect Figure 8 curves
+    python -m repro.harness --designs miniblue4 miniblue18
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .curves import format_fig8, run_fig8
+from .suite import format_table2
+from .table3 import format_table3, run_table3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the DAC 2022 differentiable-timing "
+        "placement evaluation on the miniblue suite.",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run all 8 suite designs"
+    )
+    parser.add_argument(
+        "--designs", nargs="*", default=None, help="explicit design names"
+    )
+    parser.add_argument(
+        "--max-iters", type=int, default=600, help="placer iteration cap"
+    )
+    parser.add_argument(
+        "--fig8", action="store_true", help="also collect Figure 8 curves"
+    )
+    args = parser.parse_args(argv)
+
+    print("Table 2 - benchmark statistics")
+    print(format_table2())
+    print()
+
+    designs = args.designs
+    if designs is None and not args.full:
+        designs = ["miniblue4", "miniblue16", "miniblue18"]
+    print("Table 3 - WNS/TNS/HPWL/runtime")
+    result = run_table3(designs=designs, max_iters=args.max_iters)
+    print()
+    print(format_table3(result))
+
+    if args.fig8:
+        print("\nFigure 8 - optimization curves (miniblue4)")
+        data = run_fig8("miniblue4", max_iters=args.max_iters)
+        print(format_fig8(data, step=20))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Figure 8 reproduction: optimization curves over placement iterations.
+
+Runs the plain-wirelength DREAMPlace baseline and our timing-driven placer
+on one design (the paper uses superblue4; we use miniblue4), collecting
+HPWL, density overflow, WNS and TNS per (sampled) iteration, and renders
+the four series side by side.  The expected shape matches the paper's
+figure: the HPWL and overflow curves of the two placers nearly coincide,
+while the timing curves separate in later iterations in our favour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..place.placer import PlacerOptions
+from .runners import RunRecord, run_mode
+from .suite import load_design
+
+__all__ = ["CurveData", "run_fig8", "format_fig8", "to_csv"]
+
+
+@dataclass
+class CurveData:
+    """Per-mode iteration series for the four Figure 8 panels."""
+
+    design: str
+    series: Dict[str, Dict[str, Tuple[np.ndarray, np.ndarray]]] = field(
+        default_factory=dict
+    )
+    records: Dict[str, RunRecord] = field(default_factory=dict)
+
+    def panel(self, metric: str, mode: str) -> Tuple[np.ndarray, np.ndarray]:
+        return self.series[mode][metric]
+
+
+def _extract(trace: List[Dict[str, float]], key: str):
+    its = np.array([t["iteration"] for t in trace if key in t])
+    vals = np.array([t[key] for t in trace if key in t])
+    return its, vals
+
+
+def run_fig8(
+    design_name: str = "miniblue4",
+    max_iters: int = 600,
+    modes: Tuple[str, ...] = ("dreamplace", "ours"),
+) -> CurveData:
+    """Collect the Figure 8 curves for the given design."""
+    data = CurveData(design=design_name)
+    for mode in modes:
+        design = load_design(design_name)
+        record = run_mode(
+            design,
+            mode,
+            placer_options=PlacerOptions(max_iters=max_iters),
+            with_trace_sta=True,
+        )
+        data.records[mode] = record
+        data.series[mode] = {
+            key: _extract(record.trace, key)
+            for key in ("hpwl", "overflow", "wns", "tns")
+        }
+    return data
+
+
+def format_fig8(data: CurveData, step: int = 20) -> str:
+    """Text rendering of the four panels, one row per sampled iteration."""
+    modes = list(data.series)
+    lines = [
+        f"Figure 8 curves on {data.design} "
+        f"(modes: {', '.join(modes)}; every {step} iterations)",
+        f"{'iter':>6}"
+        + "".join(
+            f" | {m}:{'hpwl':>9} {'ovf':>6} {'wns':>9} {'tns':>11}" for m in modes
+        ),
+    ]
+    its = data.series[modes[0]]["hpwl"][0]
+    for it in its:
+        if int(it) % step != 0:
+            continue
+        row = f"{int(it):>6}"
+        for mode in modes:
+            cells = []
+            for key, width, fmt in (
+                ("hpwl", 9, "{:9.0f}"),
+                ("overflow", 6, "{:6.3f}"),
+                ("wns", 9, "{:9.1f}"),
+                ("tns", 11, "{:11.1f}"),
+            ):
+                xs, ys = data.series[mode][key]
+                match = np.nonzero(xs == it)[0]
+                if len(match):
+                    cells.append(fmt.format(ys[match[0]]))
+                else:
+                    cells.append(" " * width)
+            row += " | " + " ".join(cells)
+        lines.append(row)
+    for mode in modes:
+        rec = data.records[mode]
+        lines.append(
+            f"final {mode}: WNS={rec.wns:.1f} TNS={rec.tns:.1f} "
+            f"HPWL={rec.hpwl:.1f}"
+        )
+    return "\n".join(lines)
+
+
+def to_csv(data: CurveData) -> str:
+    """CSV dump of all series (iteration, mode, metric, value)."""
+    lines = ["iteration,mode,metric,value"]
+    for mode, metrics in data.series.items():
+        for metric, (xs, ys) in metrics.items():
+            for x, y in zip(xs, ys):
+                lines.append(f"{int(x)},{mode},{metric},{y!r}")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Dependency-free SVG rendering of placements and optimization curves.
+
+Matplotlib is not assumed anywhere in this package; these helpers emit
+plain SVG text so benchmark artifacts (Figure 8 curves, placement
+snapshots before/after timing optimization) can be inspected in any
+browser.  Layout is deliberately simple: one plot per file, auto-scaled
+axes with a handful of ticks, and a legend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.design import Design
+
+__all__ = ["placement_svg", "curves_svg", "save_svg"]
+
+_PALETTE = ["#3465a4", "#cc0000", "#4e9a06", "#f57900", "#75507b", "#0e7c7b"]
+
+
+def _svg_header(width: int, height: int, title: str) -> list:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="18" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14">{title}</text>',
+    ]
+
+
+def placement_svg(
+    design: Design,
+    cell_x: Optional[np.ndarray] = None,
+    cell_y: Optional[np.ndarray] = None,
+    highlight: Optional[Iterable[int]] = None,
+    title: Optional[str] = None,
+    size: int = 640,
+) -> str:
+    """Render a placement: die, rows, cells (sequential in red), ports.
+
+    ``highlight`` marks cells (e.g. a critical path) in orange.
+    """
+    x = design.cell_x if cell_x is None else cell_x
+    y = design.cell_y if cell_y is None else cell_y
+    xl, yl, xh, yh = design.die
+    margin = 30
+    scale = (size - 2 * margin) / max(xh - xl, yh - yl, 1e-9)
+    width = int(2 * margin + (xh - xl) * scale)
+    height = int(2 * margin + (yh - yl) * scale + 20)
+
+    def sx(v: float) -> float:
+        return margin + (v - xl) * scale
+
+    def sy(v: float) -> float:
+        return height - margin - (v - yl) * scale  # flip y
+
+    out = _svg_header(width, height, title or design.name)
+    out.append(
+        f'<rect x="{sx(xl):.1f}" y="{sy(yh):.1f}" '
+        f'width="{(xh - xl) * scale:.1f}" height="{(yh - yl) * scale:.1f}" '
+        f'fill="#f7f7f7" stroke="#888"/>'
+    )
+    n_rows = max(int((yh - yl) / design.row_height), 1)
+    for r in range(1, n_rows):
+        ry = sy(yl + r * design.row_height)
+        out.append(
+            f'<line x1="{sx(xl):.1f}" y1="{ry:.1f}" x2="{sx(xh):.1f}" '
+            f'y2="{ry:.1f}" stroke="#e0e0e0" stroke-width="0.5"/>'
+        )
+    highlight_set = (
+        set(int(c) for c in highlight) if highlight is not None else set()
+    )
+    for ci in range(design.n_cells):
+        w = max(design.cell_w[ci] * scale, 1.5)
+        h = max(design.cell_h[ci] * scale, 1.5)
+        px = sx(x[ci]) - w / 2
+        py = sy(y[ci]) - h / 2
+        if ci in highlight_set:
+            fill = "#f57900"
+        elif design.cell_is_port[ci]:
+            fill = "#4e9a06"
+        elif design.cell_type_of(ci).is_sequential:
+            fill = "#cc0000"
+        else:
+            fill = "#3465a4"
+        out.append(
+            f'<rect x="{px:.1f}" y="{py:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{fill}" fill-opacity="0.75"/>'
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def curves_svg(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    xlabel: str = "iteration",
+    ylabel: str = "",
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Render labelled (x, y) series as an SVG line plot with a legend."""
+    margin_l, margin_r, margin_t, margin_b = 70, 20, 30, 45
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    all_x = np.concatenate([np.asarray(xs, float) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, float) for _, ys in series.values()])
+    if len(all_x) == 0:
+        raise ValueError("no data to plot")
+    x0, x1 = float(all_x.min()), float(all_x.max())
+    y0, y1 = float(all_y.min()), float(all_y.max())
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    pad = 0.05 * (y1 - y0)
+    y0, y1 = y0 - pad, y1 + pad
+
+    def sx(v: float) -> float:
+        return margin_l + (v - x0) / (x1 - x0) * plot_w
+
+    def sy(v: float) -> float:
+        return margin_t + (y1 - v) / (y1 - y0) * plot_h
+
+    out = _svg_header(width, height, title)
+    out.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#444"/>'
+    )
+    # Ticks.
+    for k in range(5):
+        tx = x0 + k * (x1 - x0) / 4
+        ty = y0 + k * (y1 - y0) / 4
+        out.append(
+            f'<text x="{sx(tx):.1f}" y="{height - margin_b + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="10">{tx:.0f}</text>'
+        )
+        out.append(
+            f'<text x="{margin_l - 6}" y="{sy(ty) + 3:.1f}" '
+            f'text-anchor="end" font-family="sans-serif" '
+            f'font-size="10">{ty:.3g}</text>'
+        )
+        out.append(
+            f'<line x1="{margin_l}" y1="{sy(ty):.1f}" '
+            f'x2="{width - margin_r}" y2="{sy(ty):.1f}" '
+            f'stroke="#eee" stroke-width="0.5"/>'
+        )
+    out.append(
+        f'<text x="{margin_l + plot_w / 2:.0f}" y="{height - 8}" '
+        f'text-anchor="middle" font-family="sans-serif" '
+        f'font-size="12">{xlabel}</text>'
+    )
+    out.append(
+        f'<text x="14" y="{margin_t + plot_h / 2:.0f}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12" '
+        f'transform="rotate(-90 14 {margin_t + plot_h / 2:.0f})">{ylabel}</text>'
+    )
+    # Series + legend.
+    for k, (label, (xs, ys)) in enumerate(series.items()):
+        color = _PALETTE[k % len(_PALETTE)]
+        points = " ".join(
+            f"{sx(float(px)):.1f},{sy(float(py)):.1f}"
+            for px, py in zip(xs, ys)
+        )
+        out.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.6"/>'
+        )
+        ly = margin_t + 14 + 16 * k
+        out.append(
+            f'<line x1="{width - margin_r - 110}" y1="{ly}" '
+            f'x2="{width - margin_r - 86}" y2="{ly}" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        out.append(
+            f'<text x="{width - margin_r - 80}" y="{ly + 4}" '
+            f'font-family="sans-serif" font-size="11">{label}</text>'
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def save_svg(svg_text: str, path: str) -> str:
+    """Write SVG text to a file; returns the path."""
+    with open(path, "w") as handle:
+        handle.write(svg_text)
+    return path

@@ -1,0 +1,127 @@
+"""Single-run drivers: one placer mode on one design, evaluated honestly.
+
+Each run returns a :class:`RunRecord` with final WNS/TNS from the *golden*
+STA (never the smoothed objective), exact HPWL, wall-clock runtime of the
+placement itself, and the per-iteration trace for curve plots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.objective import TimingObjectiveOptions
+from ..core.timing_placer import TimingDrivenPlacer, TimingPlacerOptions
+from ..netlist.design import Design
+from ..place.netweight import NetWeightingPlacer, NetWeightOptions
+from ..place.placer import GlobalPlacer, PlacerOptions, PlacerResult
+from ..sta.analysis import run_sta
+
+__all__ = ["MODES", "RunRecord", "run_mode"]
+
+#: The three placers of Table 3.
+MODES = ("dreamplace", "netweight", "ours")
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one (design, mode) run."""
+
+    design: str
+    mode: str
+    wns: float
+    tns: float
+    hpwl: float
+    runtime: float
+    iterations: int
+    stop_reason: str
+    x: np.ndarray
+    y: np.ndarray
+    trace: List[Dict[str, float]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"{self.design:<12} {self.mode:<10} WNS={self.wns:9.1f} "
+            f"TNS={self.tns:11.1f} HPWL={self.hpwl:10.1f} "
+            f"t={self.runtime:6.2f}s it={self.iterations}"
+        )
+
+
+def run_mode(
+    design: Design,
+    mode: str,
+    placer_options: Optional[PlacerOptions] = None,
+    timing_options: Optional[TimingObjectiveOptions] = None,
+    nw_options: Optional[NetWeightOptions] = None,
+    with_trace_sta: bool = False,
+) -> RunRecord:
+    """Run one of the three Table 3 placers on a design.
+
+    ``with_trace_sta`` adds periodic golden-STA samples to the trace (for
+    Figure 8 curves); it is excluded from the reported runtime, which is
+    re-measured around the placement call only.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    popts = placer_options if placer_options is not None else PlacerOptions(
+        max_iters=600
+    )
+
+    start = time.perf_counter()
+    if mode == "dreamplace":
+        hook = _sta_trace_hook(design, every=10) if with_trace_sta else None
+        result: PlacerResult = GlobalPlacer(
+            design, popts, extra_grad_fn=hook
+        ).run()
+    elif mode == "netweight":
+        result = NetWeightingPlacer(design, popts, nw_options).run()
+    else:
+        tp_options = TimingPlacerOptions(
+            placer=popts,
+            timing=timing_options
+            if timing_options is not None
+            else TimingObjectiveOptions(),
+            sta_in_trace=with_trace_sta,
+        )
+        result = TimingDrivenPlacer(design, tp_options).run()
+    runtime = time.perf_counter() - start
+
+    final = run_sta(design, result.x, result.y)
+    return RunRecord(
+        design=design.name,
+        mode=mode,
+        wns=final.wns_setup,
+        tns=final.tns_setup,
+        hpwl=result.hpwl,
+        runtime=runtime,
+        iterations=result.iterations,
+        stop_reason=result.stop_reason,
+        x=result.x,
+        y=result.y,
+        trace=result.trace,
+    )
+
+
+def _sta_trace_hook(design: Design, every: int = 10):
+    """Metrics-only placer hook: periodic golden STA into the trace.
+
+    Used for Figure 8 curves of the plain-wirelength mode, which otherwise
+    never evaluates timing.  Returns zero gradients so the optimization is
+    unaffected; the extra STA time is instrumentation, so callers that
+    measure runtime should run with ``with_trace_sta=False``.
+    """
+    from ..sta.analysis import StaticTimingAnalyzer
+
+    sta = StaticTimingAnalyzer(design)
+    zeros = np.zeros(design.n_cells)
+
+    def hook(iteration: int, x: np.ndarray, y: np.ndarray):
+        if iteration % every != 0:
+            return None
+        res = sta.run(x, y)
+        return zeros, zeros, {"wns": res.wns_setup, "tns": res.tns_setup}
+
+    return hook

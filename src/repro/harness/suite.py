@@ -1,0 +1,117 @@
+"""The miniblue benchmark suite (Table 2 substitute).
+
+Eight synthetic designs mirroring the *relative* sizes of the ICCAD 2015
+superblue benchmarks the paper evaluates on, scaled by ~1/800 so the whole
+Table 3 run matrix completes on a laptop-class machine in minutes.  The
+suite is seed-stable: the same name always generates the same design.
+
+==========  ============  =============  ======
+miniblue    superblue     #cells target  depth
+==========  ============  =============  ======
+miniblue1   superblue1    1512           14
+miniblue3   superblue3    1516           16
+miniblue4   superblue4    995            12
+miniblue5   superblue5    1358           15
+miniblue7   superblue7    2414           18
+miniblue10  superblue10   2345           17
+miniblue16  superblue16   1227           13
+miniblue18  superblue18   960            12
+==========  ============  =============  ======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..netlist.design import Design
+from ..netlist.generator import GeneratorSpec, generate_design
+
+__all__ = ["SUITE", "SuiteEntry", "load_design", "suite_statistics", "format_table2"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One miniblue design: generator knobs + its superblue counterpart."""
+
+    name: str
+    superblue: str
+    n_cells: int
+    depth: int
+    seed: int
+    superblue_cells: int
+    superblue_nets: int
+    superblue_pins: int
+
+
+#: The eight suite designs, in Table 2/3 order.
+SUITE: List[SuiteEntry] = [
+    SuiteEntry("miniblue1", "superblue1", 1512, 14, 101, 1209716, 1215710, 3767494),
+    SuiteEntry("miniblue3", "superblue3", 1516, 16, 103, 1213253, 1224979, 3905321),
+    SuiteEntry("miniblue4", "superblue4", 995, 12, 104, 795645, 802513, 2497940),
+    SuiteEntry("miniblue5", "superblue5", 1358, 15, 105, 1086888, 1100825, 3246878),
+    SuiteEntry("miniblue7", "superblue7", 2414, 18, 107, 1931639, 1933945, 6372094),
+    SuiteEntry("miniblue10", "superblue10", 2345, 17, 110, 1876103, 1898119, 5560506),
+    SuiteEntry("miniblue16", "superblue16", 1227, 13, 116, 981559, 999902, 3013268),
+    SuiteEntry("miniblue18", "superblue18", 960, 12, 118, 768068, 771542, 2559143),
+]
+
+_SUITE_BY_NAME: Dict[str, SuiteEntry] = {e.name: e for e in SUITE}
+
+
+def load_design(name: str) -> Design:
+    """Generate a suite design by name (deterministic per name)."""
+    if name not in _SUITE_BY_NAME:
+        raise KeyError(
+            f"unknown suite design {name!r}; available: {sorted(_SUITE_BY_NAME)}"
+        )
+    entry = _SUITE_BY_NAME[name]
+    n_io = max(int(round((entry.n_cells / 1000) * 24)), 8)
+    spec = GeneratorSpec(
+        name=entry.name,
+        n_cells=entry.n_cells,
+        depth=entry.depth,
+        seed=entry.seed,
+        n_inputs=n_io,
+        n_outputs=n_io,
+    )
+    return generate_design(spec)
+
+
+def suite_statistics() -> List[Dict[str, object]]:
+    """Generate every design and collect Table 2-style statistics."""
+    rows = []
+    for entry in SUITE:
+        design = load_design(entry.name)
+        stats = design.stats()
+        rows.append(
+            {
+                "benchmark": entry.name,
+                "superblue": entry.superblue,
+                "cells": stats["cells"],
+                "nets": stats["nets"],
+                "pins": stats["pins"],
+                "superblue_cells": entry.superblue_cells,
+                "superblue_nets": entry.superblue_nets,
+                "superblue_pins": entry.superblue_pins,
+            }
+        )
+    return rows
+
+
+def format_table2(rows: Optional[List[Dict[str, object]]] = None) -> str:
+    """Render the Table 2 analogue: suite statistics next to superblue's."""
+    if rows is None:
+        rows = suite_statistics()
+    header = (
+        f"{'Benchmark':<12} {'#Cells':>8} {'#Nets':>8} {'#Pins':>8} "
+        f"| {'(paper)':<12} {'#Cells':>9} {'#Nets':>9} {'#Pins':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['benchmark']:<12} {r['cells']:>8} {r['nets']:>8} {r['pins']:>8} "
+            f"| {r['superblue']:<12} {r['superblue_cells']:>9} "
+            f"{r['superblue_nets']:>9} {r['superblue_pins']:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Complete design-bundle persistence (ICCAD 2015 kit style).
+
+The contest distributes each benchmark as Verilog netlist + Liberty
+libraries + SDC constraints + DEF placement.  :func:`save_design` writes
+the same four files (plus a small manifest) for any :class:`Design`, and
+:func:`load_design_bundle` reconstructs a fully timing-capable design from
+them - the only persistence path in this package that round-trips
+*everything*: library, netlist, constraints, geometry and placement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .def_io import apply_def_placement, read_def_file, write_def_file
+from .design import Design
+from .liberty import read_liberty_file, write_liberty_file
+from .sdc import read_sdc_file, write_sdc_file
+from .verilog import read_verilog_file, write_verilog_file
+
+__all__ = ["save_design", "load_design_bundle"]
+
+_MANIFEST = "design.json"
+
+
+def save_design(
+    design: Design,
+    directory: str,
+    cell_x: Optional[np.ndarray] = None,
+    cell_y: Optional[np.ndarray] = None,
+) -> str:
+    """Write a full bundle (.v/.lib/.sdc/.def + manifest) to a directory.
+
+    Returns the manifest path.  ``cell_x``/``cell_y`` override the stored
+    placement (e.g. to persist a placer result).
+    """
+    os.makedirs(directory, exist_ok=True)
+    name = design.name
+    write_verilog_file(design, os.path.join(directory, f"{name}.v"))
+    write_liberty_file(design.library, os.path.join(directory, f"{name}.lib"))
+    write_sdc_file(design.constraints, os.path.join(directory, f"{name}.sdc"))
+    write_def_file(
+        design, os.path.join(directory, f"{name}.def"), cell_x, cell_y
+    )
+    manifest = {
+        "name": name,
+        "verilog": f"{name}.v",
+        "liberty": f"{name}.lib",
+        "sdc": f"{name}.sdc",
+        "def": f"{name}.def",
+        "die": list(design.die),
+        "row_height": design.row_height,
+    }
+    path = os.path.join(directory, _MANIFEST)
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return path
+
+
+def load_design_bundle(directory: str) -> Tuple[Design, np.ndarray, np.ndarray]:
+    """Reconstruct a design (plus its placement) from a saved bundle.
+
+    Returns ``(design, x, y)`` where the coordinate arrays hold the DEF
+    placement (also already applied as the design's stored positions).
+    """
+    manifest_path = os.path.join(directory, _MANIFEST)
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+
+    library = read_liberty_file(os.path.join(directory, manifest["liberty"]))
+    constraints = read_sdc_file(os.path.join(directory, manifest["sdc"]))
+    design = read_verilog_file(
+        os.path.join(directory, manifest["verilog"]),
+        library,
+        die=tuple(manifest["die"]),
+        constraints=constraints,
+        row_height=manifest["row_height"],
+    )
+    def_data = read_def_file(os.path.join(directory, manifest["def"]))
+    x, y = apply_def_placement(design, def_data)
+    design.cell_x = x.copy()
+    design.cell_y = y.copy()
+    return design, x, y

@@ -1,0 +1,255 @@
+"""DEF (Design Exchange Format) subset reader/writer.
+
+The ICCAD 2015 kit carries placements as DEF; this module supports the
+slice needed to round-trip our designs: ``DESIGN``, ``UNITS``, ``DIEAREA``,
+``ROW``, ``COMPONENTS`` (with ``PLACED``/``FIXED`` and orientation N), and
+``PINS`` (port locations).  Nets live in the Verilog netlist, so the
+``NETS`` section is optional on read and omitted on write.
+
+DEF stores lower-left corners in database units; :class:`Design` uses
+micron cell centers.  The conversion happens at this module's boundary
+with the ``UNITS DISTANCE MICRONS`` factor (default 1000).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .design import Design, PORT_IN_TYPE, PORT_OUT_TYPE
+
+__all__ = [
+    "DefError",
+    "DefData",
+    "parse_def",
+    "write_def",
+    "read_def_file",
+    "write_def_file",
+    "apply_def_placement",
+]
+
+
+class DefError(ValueError):
+    """Raised on malformed DEF input."""
+
+
+@dataclass
+class DefData:
+    """Raw contents of a DEF file (units already divided out: microns)."""
+
+    design: str = ""
+    units: int = 1000
+    die: Tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
+    rows: List[Tuple[str, float, float, int]] = field(default_factory=list)
+    # component name -> (cell type, llx, lly, fixed)
+    components: Dict[str, Tuple[str, float, float, bool]] = field(
+        default_factory=dict
+    )
+    # pin (port) name -> (x, y, direction)
+    pins: Dict[str, Tuple[float, float, str]] = field(default_factory=dict)
+
+
+def _tokens(text: str) -> List[str]:
+    text = re.sub(r"#[^\n]*", " ", text)
+    return text.split()
+
+
+def parse_def(text: str) -> DefData:
+    """Parse DEF text into a :class:`DefData` structure."""
+    toks = _tokens(text)
+    data = DefData()
+    i = 0
+    n = len(toks)
+
+    def expect_number(k: int) -> float:
+        try:
+            return float(toks[k])
+        except (IndexError, ValueError):
+            raise DefError(f"expected a number near token {k}: {toks[k:k+3]}")
+
+    while i < n:
+        tok = toks[i]
+        if tok == "DESIGN" and i + 1 < n and toks[i + 1] != "DESIGN":
+            data.design = toks[i + 1]
+            i += 2
+        elif tok == "UNITS":
+            # UNITS DISTANCE MICRONS <n> ;
+            data.units = int(expect_number(i + 3))
+            i += 4
+        elif tok == "DIEAREA":
+            # DIEAREA ( x1 y1 ) ( x2 y2 ) ;
+            nums = []
+            j = i + 1
+            while toks[j] != ";":
+                if toks[j] not in ("(", ")"):
+                    nums.append(float(toks[j]))
+                j += 1
+            if len(nums) < 4:
+                raise DefError("DIEAREA needs two points")
+            u = data.units
+            data.die = (nums[0] / u, nums[1] / u, nums[2] / u, nums[3] / u)
+            i = j + 1
+        elif tok == "ROW":
+            # ROW name site x y orient DO nx BY ny STEP sx sy ;
+            name = toks[i + 1]
+            x = float(toks[i + 3]) / data.units
+            y = float(toks[i + 4]) / data.units
+            j = i
+            count = 0
+            while toks[j] != ";":
+                if toks[j] == "DO":
+                    count = int(toks[j + 1])
+                j += 1
+            data.rows.append((name, x, y, count))
+            i = j + 1
+        elif tok == "COMPONENTS":
+            i += 3  # skip keyword, count, ';'
+            while toks[i] != "END":
+                if toks[i] != "-":
+                    raise DefError(f"expected '-' in COMPONENTS, got {toks[i]!r}")
+                name = toks[i + 1]
+                ctype = toks[i + 2]
+                fixed = False
+                x = y = 0.0
+                j = i + 3
+                while toks[j] != ";":
+                    if toks[j] in ("PLACED", "FIXED"):
+                        fixed = toks[j] == "FIXED"
+                        x = float(toks[j + 2]) / data.units
+                        y = float(toks[j + 3]) / data.units
+                    j += 1
+                data.components[name] = (ctype, x, y, fixed)
+                i = j + 1
+            i += 2  # END COMPONENTS
+        elif tok == "PINS":
+            i += 3  # skip keyword, count, ';'
+            while toks[i] != "END":
+                if toks[i] != "-":
+                    raise DefError(f"expected '-' in PINS, got {toks[i]!r}")
+                name = toks[i + 1]
+                direction = "INPUT"
+                x = y = 0.0
+                j = i + 2
+                while toks[j] != ";":
+                    if toks[j] == "DIRECTION":
+                        direction = toks[j + 1]
+                    if toks[j] in ("PLACED", "FIXED"):
+                        x = float(toks[j + 2]) / data.units
+                        y = float(toks[j + 3]) / data.units
+                    j += 1
+                data.pins[name] = (x, y, direction)
+                i = j + 1
+            i += 2
+        elif tok == "NETS":
+            # Skip the optional nets section entirely.
+            while toks[i] != "END":
+                i += 1
+            i += 2
+        else:
+            i += 1
+    return data
+
+
+def write_def(
+    design: Design,
+    cell_x: Optional[np.ndarray] = None,
+    cell_y: Optional[np.ndarray] = None,
+    units: int = 1000,
+) -> str:
+    """Serialise a design (with the given placement) as DEF text."""
+    x = design.cell_x if cell_x is None else cell_x
+    y = design.cell_y if cell_y is None else cell_y
+    xl, yl, xh, yh = design.die
+
+    def dbu(v: float) -> int:
+        return int(round(v * units))
+
+    lines = [
+        "VERSION 5.8 ;",
+        "DIVIDERCHAR \"/\" ;",
+        "BUSBITCHARS \"[]\" ;",
+        f"DESIGN {design.name} ;",
+        f"UNITS DISTANCE MICRONS {units} ;",
+        f"DIEAREA ( {dbu(xl)} {dbu(yl)} ) ( {dbu(xh)} {dbu(yh)} ) ;",
+    ]
+    n_rows = max(int((yh - yl) / design.row_height), 1)
+    for r in range(n_rows):
+        ry = yl + r * design.row_height
+        lines.append(
+            f"ROW core_row_{r} core {dbu(xl)} {dbu(ry)} N "
+            f"DO {int(xh - xl)} BY 1 STEP {units} 0 ;"
+        )
+
+    comps = []
+    ports_in: List[int] = []
+    ports_out: List[int] = []
+    for ci in range(design.n_cells):
+        tname = design.cell_types[design.cell_type[ci]].name
+        if tname == PORT_IN_TYPE:
+            ports_in.append(ci)
+        elif tname == PORT_OUT_TYPE:
+            ports_out.append(ci)
+        else:
+            comps.append(ci)
+
+    lines.append(f"COMPONENTS {len(comps)} ;")
+    for ci in comps:
+        llx = dbu(x[ci] - 0.5 * design.cell_w[ci])
+        lly = dbu(y[ci] - 0.5 * design.cell_h[ci])
+        kind = "FIXED" if design.cell_fixed[ci] else "PLACED"
+        tname = design.cell_types[design.cell_type[ci]].name
+        lines.append(
+            f"- {design.cell_name[ci]} {tname} + {kind} ( {llx} {lly} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+
+    lines.append(f"PINS {len(ports_in) + len(ports_out)} ;")
+    for ci, direction in [(c, "INPUT") for c in ports_in] + [
+        (c, "OUTPUT") for c in ports_out
+    ]:
+        lines.append(
+            f"- {design.cell_name[ci]} + NET {design.cell_name[ci]} "
+            f"+ DIRECTION {direction} + FIXED ( {dbu(x[ci])} {dbu(y[ci])} ) N ;"
+        )
+    lines.append("END PINS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def apply_def_placement(
+    design: Design, data: DefData
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply a DEF placement onto a design; returns center coordinates."""
+    x = design.cell_x.copy()
+    y = design.cell_y.copy()
+    for ci in range(design.n_cells):
+        name = design.cell_name[ci]
+        if name in data.components:
+            _, llx, lly, _ = data.components[name]
+            x[ci] = llx + 0.5 * design.cell_w[ci]
+            y[ci] = lly + 0.5 * design.cell_h[ci]
+        elif name in data.pins:
+            px, py, _ = data.pins[name]
+            x[ci] = px
+            y[ci] = py
+    return x, y
+
+
+def read_def_file(path: str) -> DefData:
+    """Read and parse a DEF file."""
+    with open(path) as handle:
+        return parse_def(handle.read())
+
+
+def write_def_file(
+    design: Design,
+    path: str,
+    cell_x: Optional[np.ndarray] = None,
+    cell_y: Optional[np.ndarray] = None,
+) -> None:
+    """Write a design's placement to a DEF file."""
+    with open(path, "w") as handle:
+        handle.write(write_def(design, cell_x, cell_y))

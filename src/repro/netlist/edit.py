@@ -1,0 +1,131 @@
+"""Netlist editing: rebuild designs with modifications (ECO operations).
+
+:class:`Design` is a frozen array-of-structs view, so edits work by
+reconstructing through :class:`DesignBuilder`: :func:`clone_design`
+reproduces a design exactly (useful on its own and as the editing
+substrate), and :func:`insert_buffer` performs the classic timing ECO -
+splitting a net by driving a chosen subset of its sinks through a new
+buffer cell placed at a given location.  The timing-driven buffering
+optimizer in :mod:`repro.place.buffering` builds on these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .design import Design, DesignBuilder, PORT_IN_TYPE, PORT_OUT_TYPE
+
+__all__ = ["clone_design", "insert_buffer"]
+
+
+def _pin_ref(design: Design, pin: int) -> str:
+    """Builder-style reference ("cell/pin" or bare port name) of a pin."""
+    cell = int(design.pin2cell[pin])
+    type_name = design.cell_types[design.cell_type[cell]].name
+    if type_name in (PORT_IN_TYPE, PORT_OUT_TYPE):
+        return design.cell_name[cell]
+    return design.pin_name[pin]
+
+
+def _builder_from(design: Design) -> DesignBuilder:
+    """A builder pre-loaded with every cell (and position) of a design."""
+    builder = DesignBuilder(
+        design.name,
+        design.library,
+        die=design.die,
+        row_height=design.row_height,
+        constraints=design.constraints,
+    )
+    for ci in range(design.n_cells):
+        type_name = design.cell_types[design.cell_type[ci]].name
+        x = float(design.cell_x[ci])
+        y = float(design.cell_y[ci])
+        if type_name == PORT_IN_TYPE:
+            builder.add_input(design.cell_name[ci], x=x, y=y)
+        elif type_name == PORT_OUT_TYPE:
+            builder.add_output(design.cell_name[ci], x=x, y=y)
+        else:
+            builder.add_cell(
+                design.cell_name[ci],
+                type_name,
+                x=x,
+                y=y,
+                fixed=bool(design.cell_fixed[ci]),
+            )
+    return builder
+
+
+def clone_design(design: Design) -> Design:
+    """Reconstruct an identical design (same cells, nets, positions)."""
+    builder = _builder_from(design)
+    for ni in range(design.n_nets):
+        refs = [_pin_ref(design, int(p)) for p in design.net_pins(ni)]
+        builder.add_net(design.net_name[ni], refs)
+    return builder.build()
+
+
+def insert_buffer(
+    design: Design,
+    net: int,
+    moved_sinks: Sequence[int],
+    position: Tuple[float, float],
+    buffer_type: str = "BUF_X2",
+    name: Optional[str] = None,
+) -> Design:
+    """Drive ``moved_sinks`` of ``net`` through a new buffer at ``position``.
+
+    The original net keeps its driver, the remaining sinks, and the
+    buffer's input; a new net connects the buffer output to the moved
+    sinks.  Returns the rebuilt design (cell positions preserved; the new
+    buffer is movable and may need legalization).
+
+    Raises ``ValueError`` for clock nets, empty or complete sink subsets,
+    or sinks that are not on the net.
+    """
+    if design.net_is_clock[net]:
+        raise ValueError("refusing to buffer the clock net")
+    pins = design.net_pins(net)
+    driver = int(design.net_driver[net])
+    sinks = set(int(p) for p in pins if p != driver)
+    moved = set(int(p) for p in moved_sinks)
+    if not moved:
+        raise ValueError("no sinks selected for buffering")
+    if not moved <= sinks:
+        raise ValueError("moved sinks must be sink pins of the net")
+    if moved == sinks and len(sinks) == 1:
+        # Repeater on a 2-pin net is allowed (splits the wire).
+        pass
+
+    buffer_cell = design.library[buffer_type]
+    in_pin = buffer_cell.input_pins[0].name
+    out_pin = buffer_cell.output_pins[0].name
+    if name is None:
+        base = f"eco_buf{design.n_cells}"
+        name = base
+        k = 0
+        existing = set(design.cell_name)
+        while name in existing:
+            k += 1
+            name = f"{base}_{k}"
+
+    builder = _builder_from(design)
+    builder.add_cell(name, buffer_type, x=position[0], y=position[1])
+
+    for ni in range(design.n_nets):
+        refs = [_pin_ref(design, int(p)) for p in design.net_pins(ni)]
+        if ni == net:
+            keep = [
+                _pin_ref(design, int(p))
+                for p in design.net_pins(ni)
+                if int(p) not in moved
+            ]
+            builder.add_net(design.net_name[ni], keep + [f"{name}/{in_pin}"])
+        else:
+            builder.add_net(design.net_name[ni], refs)
+    builder.add_net(
+        f"{design.net_name[net]}_buf",
+        [f"{name}/{out_pin}"] + [_pin_ref(design, p) for p in sorted(moved)],
+    )
+    return builder.build()

@@ -1,0 +1,315 @@
+"""Synthetic benchmark generation.
+
+The ICCAD 2015 contest designs evaluated by the paper are proprietary, so
+the benchmark suite here is generated: layered sequential netlists with
+deep combinational paths, realistic fanout distributions, a single ideal
+clock, and die areas sized to a target utilisation.  The statistical knobs
+(cell count, logic depth, fanout mix, FF fraction) are what the paper's
+algorithms are sensitive to; see DESIGN.md for the substitution rationale.
+
+Two entry points:
+
+- :func:`generate_design` - fully parameterised generator.
+- :func:`make_chain_design` - a tiny inverter/buffer chain for unit tests.
+
+The miniblue suite (Table 2 equivalent) is defined in
+:mod:`repro.harness.suite` on top of :func:`generate_design`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .design import Constraints, Design, DesignBuilder
+from .library import Library, PinDirection, default_library
+
+__all__ = ["GeneratorSpec", "generate_design", "make_chain_design"]
+
+
+@dataclass
+class GeneratorSpec:
+    """Knobs for :func:`generate_design`."""
+
+    name: str = "synthetic"
+    n_cells: int = 1000
+    depth: int = 16
+    ff_fraction: float = 0.12
+    n_inputs: int = 24
+    n_outputs: int = 24
+    utilization: float = 0.70
+    max_fanout: int = 8
+    n_high_fanout_nets: int = 4
+    high_fanout: int = 16
+    clock_period: Optional[float] = None
+    period_tightness: float = 0.75
+    seed: int = 0
+    comb_type_weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "INV_X1": 0.14,
+            "INV_X2": 0.05,
+            "BUF_X1": 0.06,
+            "NAND2_X1": 0.18,
+            "NOR2_X1": 0.11,
+            "AND2_X1": 0.13,
+            "OR2_X1": 0.11,
+            "XOR2_X1": 0.09,
+            "MUX2_X1": 0.08,
+            "INV_X4": 0.03,
+            "BUF_X2": 0.02,
+        }
+    )
+
+
+def _estimate_clock_period(spec: GeneratorSpec) -> float:
+    """Heuristic period: depth x typical loaded stage delay x tightness.
+
+    A fanout-loaded stage of the default library costs roughly 28-40 ps
+    (base delay + drive resistance x a few input caps + wire).  Tightness
+    below 1.0 makes the initial placement violate setup, which is the
+    regime the paper's experiments operate in.
+    """
+    stage_delay = 55.0
+    ff_overhead = 60.0
+    return spec.period_tightness * (spec.depth * stage_delay + ff_overhead)
+
+
+class _SignalPool:
+    """Tracks driver pins available for connection and their fanout."""
+
+    def __init__(self, rng: np.random.Generator, max_fanout: int) -> None:
+        self.rng = rng
+        self.max_fanout = max_fanout
+        self.signals: List[str] = []  # pin refs like "u3/Y" or port names
+        self.level: List[int] = []
+        self.fanout: List[int] = []
+
+    def add(self, ref: str, level: int) -> None:
+        self.signals.append(ref)
+        self.level.append(level)
+        self.fanout.append(0)
+
+    def pick(self, min_level: int, max_level: int, prefer_unused: bool = True) -> int:
+        """Pick a signal index with level in [min_level, max_level]."""
+        candidates = [
+            i
+            for i, lv in enumerate(self.level)
+            if min_level <= lv <= max_level and self.fanout[i] < self.max_fanout
+        ]
+        if not candidates:
+            candidates = [
+                i for i, lv in enumerate(self.level) if min_level <= lv <= max_level
+            ]
+        if not candidates:
+            candidates = list(range(len(self.signals)))
+        if prefer_unused:
+            unused = [i for i in candidates if self.fanout[i] == 0]
+            if unused and self.rng.random() < 0.6:
+                candidates = unused
+        weights = np.array([1.0 / (1.0 + self.fanout[i]) ** 2 for i in candidates])
+        weights /= weights.sum()
+        choice = int(self.rng.choice(len(candidates), p=weights))
+        idx = candidates[choice]
+        self.fanout[idx] += 1
+        return idx
+
+    def unused(self) -> List[int]:
+        return [i for i, f in enumerate(self.fanout) if f == 0]
+
+
+def generate_design(spec: GeneratorSpec, library: Optional[Library] = None) -> Design:
+    """Generate a synthetic sequential design from a :class:`GeneratorSpec`."""
+    lib = library if library is not None else default_library()
+    rng = np.random.default_rng(spec.seed)
+
+    n_ff = max(int(spec.n_cells * spec.ff_fraction), 2)
+    n_comb = max(spec.n_cells - n_ff, spec.depth)
+
+    type_names = list(spec.comb_type_weights)
+    type_probs = np.array([spec.comb_type_weights[t] for t in type_names])
+    type_probs = type_probs / type_probs.sum()
+
+    period = (
+        spec.clock_period
+        if spec.clock_period is not None
+        else _estimate_clock_period(spec)
+    )
+    constraints = Constraints(clock_period=period, clock_port="clk")
+
+    # ------------------------------------------------------------------
+    # Phase 1: construct the netlist structure (no coordinates yet).
+    # ------------------------------------------------------------------
+    cell_list: List[Tuple[str, str]] = []  # (instance name, cell type)
+    pi_names = [f"in{i}" for i in range(spec.n_inputs)]
+    po_names = [f"out{i}" for i in range(spec.n_outputs)]
+    for name in pi_names:
+        constraints.input_delays[name] = float(rng.uniform(0.0, 0.1 * period))
+        constraints.input_slews[name] = float(rng.uniform(10.0, 40.0))
+    for name in po_names:
+        constraints.output_delays[name] = float(rng.uniform(0.0, 0.1 * period))
+        constraints.output_loads[name] = float(rng.uniform(2.0, 8.0))
+
+    pool = _SignalPool(rng, spec.max_fanout)
+    for name in pi_names:
+        pool.add(name, 0)
+    ff_names = [f"ff{i}" for i in range(n_ff)]
+    for name in ff_names:
+        cell_list.append((name, "DFF_X1"))
+        pool.add(f"{name}/Q", 0)
+
+    # Layered combinational fabric.
+    per_layer = [n_comb // spec.depth] * spec.depth
+    for i in range(n_comb - sum(per_layer)):
+        per_layer[i % spec.depth] += 1
+
+    nets: Dict[str, List[str]] = {}  # driver ref -> sink refs
+
+    def connect(input_ref: str, min_level: int, max_level: int) -> None:
+        idx = pool.pick(min_level, max_level)
+        nets.setdefault(pool.signals[idx], []).append(input_ref)
+
+    cell_counter = 0
+    for layer in range(1, spec.depth + 1):
+        for _ in range(per_layer[layer - 1]):
+            type_name = type_names[int(rng.choice(len(type_names), p=type_probs))]
+            ctype = lib[type_name]
+            cell_name = f"u{cell_counter}"
+            cell_counter += 1
+            cell_list.append((cell_name, type_name))
+            input_pins = [p.name for p in ctype.input_pins]
+            # First input comes from the previous layer to guarantee depth;
+            # the rest reach back further for reconvergence.
+            connect(f"{cell_name}/{input_pins[0]}", layer - 1, layer - 1)
+            for pin_name in input_pins[1:]:
+                lo = max(0, layer - 1 - int(rng.integers(0, 4)))
+                connect(f"{cell_name}/{pin_name}", lo, layer - 1)
+            out_pin = ctype.output_pins[0].name
+            pool.add(f"{cell_name}/{out_pin}", layer)
+
+    # Endpoint hookup: FF D pins and POs consume late-layer signals.
+    for name in ff_names:
+        connect(f"{name}/D", max(1, spec.depth - 3), spec.depth)
+    for name in po_names:
+        connect(name, max(1, spec.depth - 2), spec.depth)
+
+    # A few deliberately high-fanout nets (enable/select-style signals).
+    for _ in range(spec.n_high_fanout_nets):
+        idx = int(rng.integers(0, len(pool.signals)))
+        driver_ref = pool.signals[idx]
+        if "/" not in driver_ref:
+            continue
+        extra = nets.setdefault(driver_ref, [])
+        for _k in range(spec.high_fanout):
+            buf_name = f"hf{cell_counter}"
+            cell_counter += 1
+            cell_list.append((buf_name, "BUF_X1"))
+            extra.append(f"{buf_name}/A")
+            pool.add(f"{buf_name}/Y", pool.level[idx] + 1)
+
+    # Sweep dangling outputs into a PO via shared collector gates so every
+    # net has at least one sink.
+    dangling = [pool.signals[i] for i in pool.unused() if "/" in pool.signals[i]]
+    collector_inputs: List[str] = list(dangling)
+    while len(collector_inputs) > 1:
+        next_round: List[str] = []
+        for i in range(0, len(collector_inputs) - 1, 2):
+            gate = f"col{cell_counter}"
+            cell_counter += 1
+            cell_list.append((gate, "NAND2_X1"))
+            nets.setdefault(collector_inputs[i], []).append(f"{gate}/A")
+            nets.setdefault(collector_inputs[i + 1], []).append(f"{gate}/B")
+            next_round.append(f"{gate}/Y")
+        if len(collector_inputs) % 2 == 1:
+            next_round.append(collector_inputs[-1])
+        collector_inputs = next_round
+    collector_po = f"col_out{cell_counter}" if collector_inputs else None
+    if collector_po is not None:
+        constraints.output_delays[collector_po] = 0.0
+        constraints.output_loads[collector_po] = 4.0
+        nets.setdefault(collector_inputs[0], []).append(collector_po)
+
+    # ------------------------------------------------------------------
+    # Phase 2: die sizing from the *actual* cell list, then emission.
+    # ------------------------------------------------------------------
+    total_area = float(sum(lib[t].area for _, t in cell_list))
+    die_area = total_area / spec.utilization
+    row_h = lib["DFF_X1"].height
+    side = math.sqrt(die_area)
+    n_rows = max(int(round(side / row_h)), 4)
+    height = n_rows * row_h
+    width = die_area / height
+    die = (0.0, 0.0, round(width, 3), round(height, 3))
+    xl, yl, xh, yh = die
+
+    builder = DesignBuilder(
+        spec.name, lib, die=die, row_height=row_h, constraints=constraints
+    )
+    builder.add_input("clk", x=xl, y=yl)
+    for i, name in enumerate(pi_names):
+        frac = (i + 1) / (spec.n_inputs + 1)
+        builder.add_input(name, x=xl, y=yl + frac * (yh - yl))
+    for i, name in enumerate(po_names):
+        frac = (i + 1) / (spec.n_outputs + 1)
+        builder.add_output(name, x=xh, y=yl + frac * (yh - yl))
+    if collector_po is not None:
+        builder.add_output(collector_po, x=xh, y=yh)
+    for name, type_name in cell_list:
+        builder.add_cell(name, type_name)
+
+    net_counter = 0
+    for driver_ref, sinks in nets.items():
+        builder.add_net(f"n{net_counter}", [driver_ref] + sinks)
+        net_counter += 1
+    builder.add_net("clknet", ["clk"] + [f"{name}/CK" for name in ff_names])
+    return builder.build()
+
+
+def make_chain_design(
+    n_stages: int = 4,
+    cell: str = "INV_X1",
+    library: Optional[Library] = None,
+    clock_period: float = 200.0,
+    die: Tuple[float, float, float, float] = (0.0, 0.0, 60.0, 20.0),
+    spread: bool = True,
+) -> Design:
+    """A PI -> chain of gates -> FF -> PO design for unit tests.
+
+    The chain is ``in0 -> g0 -> g1 -> ... -> ff0/D`` with ``ff0/Q -> out0``,
+    plus a clock port.  With ``spread=True`` the cells are pre-placed on a
+    horizontal line so wire delays are nonzero and deterministic.
+    """
+    lib = library if library is not None else default_library()
+    constraints = Constraints(clock_period=clock_period, clock_port="clk")
+    builder = DesignBuilder("chain", lib, die=die, constraints=constraints)
+    xl, yl, xh, yh = die
+    y_mid = 0.5 * (yl + yh)
+    builder.add_input("clk", x=xl, y=yl)
+    builder.add_input("in0", x=xl, y=y_mid)
+    builder.add_output("out0", x=xh, y=y_mid)
+
+    gate_names = []
+    for i in range(n_stages):
+        name = f"g{i}"
+        x = xl + (i + 1) * (xh - xl) / (n_stages + 3) if spread else None
+        builder.add_cell(name, cell, x=x, y=y_mid)
+        gate_names.append(name)
+    builder.add_cell(
+        "ff0",
+        "DFF_X1",
+        x=xl + (n_stages + 1) * (xh - xl) / (n_stages + 3) if spread else None,
+        y=y_mid,
+    )
+
+    in_pin = lib[cell].input_pins[0].name
+    out_pin = lib[cell].output_pins[0].name
+    prev = "in0"
+    for i, name in enumerate(gate_names):
+        builder.add_net(f"n{i}", [prev, f"{name}/{in_pin}"])
+        prev = f"{name}/{out_pin}"
+    builder.add_net("n_d", [prev, "ff0/D"])
+    builder.add_net("n_q", ["ff0/Q", "out0"])
+    builder.add_net("clknet", ["clk", "ff0/CK"])
+    return builder.build()

@@ -1,0 +1,443 @@
+"""Liberty (.lib) subset writer and parser.
+
+Supports the slice of the Liberty format that NLDM timing needs: the
+``library``/``cell``/``pin``/``timing`` group hierarchy, simple and complex
+attributes, ``index_1``/``index_2``/``values`` tables, unateness, timing
+types (combinational, rising_edge, setup_rising, hold_rising), pin
+capacitance/direction, and a ``wire_load`` group for the per-unit RC used by
+the Elmore model.
+
+The module round-trips the synthetic library of
+:func:`repro.netlist.library.default_library`: ``parse_liberty(write_liberty
+(lib))`` reproduces every LUT bit-exactly, which the test-suite asserts.
+Cell geometry, which standard Liberty does not carry, is emitted as the
+vendor-style attributes ``repro_width``/``repro_height`` (with ``area`` kept
+consistent).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .library import (
+    ArcKind,
+    CellType,
+    Library,
+    PinDirection,
+    PinSpec,
+    TimingArc,
+    Unateness,
+    WireModel,
+)
+from .lut import LUT
+
+__all__ = [
+    "LibertyGroup",
+    "LibertyError",
+    "parse_liberty",
+    "parse_liberty_groups",
+    "write_liberty",
+    "read_liberty_file",
+    "write_liberty_file",
+]
+
+
+class LibertyError(ValueError):
+    """Raised on malformed Liberty input."""
+
+
+# ----------------------------------------------------------------------
+# Generic group tree
+# ----------------------------------------------------------------------
+@dataclass
+class LibertyGroup:
+    """A generic Liberty group: ``kind (args) { attrs; subgroups }``."""
+
+    kind: str
+    args: List[str] = field(default_factory=list)
+    attrs: Dict[str, Union[str, float]] = field(default_factory=dict)
+    complex_attrs: Dict[str, List[List[str]]] = field(default_factory=dict)
+    groups: List["LibertyGroup"] = field(default_factory=list)
+
+    def subgroups(self, kind: str) -> List["LibertyGroup"]:
+        return [g for g in self.groups if g.kind == kind]
+
+    def first(self, kind: str) -> Optional["LibertyGroup"]:
+        for g in self.groups:
+            if g.kind == kind:
+                return g
+        return None
+
+    def get_float(self, name: str, default: float = 0.0) -> float:
+        value = self.attrs.get(name, default)
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise LibertyError(f"attribute {name!r} is not numeric: {value!r}")
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s+
+    | /\*.*?\*/
+    | //[^\n]*
+    | \\\n
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<punct>[{}();:,])
+    | (?P<word>[^\s{}();:,"]+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise LibertyError(f"unexpected character at offset {pos}: {text[pos]!r}")
+        pos = m.end()
+        if m.lastgroup == "string":
+            tokens.append(m.group("string"))
+        elif m.lastgroup in ("punct", "word"):
+            tokens.append(m.group(m.lastgroup))
+    return tokens
+
+
+def _unquote(token: str) -> str:
+    if len(token) >= 2 and token[0] == '"' and token[-1] == '"':
+        return token[1:-1].replace("\\\n", " ").replace('\\"', '"')
+    return token
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise LibertyError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise LibertyError(f"expected {token!r}, got {got!r}")
+
+    def parse_group(self) -> LibertyGroup:
+        kind = self.next()
+        self.expect("(")
+        args: List[str] = []
+        while self.peek() != ")":
+            token = self.next()
+            if token != ",":
+                args.append(_unquote(token))
+        self.expect(")")
+        self.expect("{")
+        group = LibertyGroup(kind=kind, args=args)
+        while True:
+            token = self.peek()
+            if token is None:
+                raise LibertyError(f"unterminated group {kind!r}")
+            if token == "}":
+                self.next()
+                if self.peek() == ";":
+                    self.next()
+                return group
+            self._parse_statement(group)
+
+    def _parse_statement(self, group: LibertyGroup) -> None:
+        name = self.next()
+        token = self.peek()
+        if token == ":":
+            self.next()
+            parts = []
+            while self.peek() not in (";", "}", None):
+                parts.append(_unquote(self.next()))
+            if self.peek() == ";":
+                self.next()
+            group.attrs[name] = " ".join(parts)
+        elif token == "(":
+            # Complex attribute or subgroup: decide by what follows ')'.
+            depth = 0
+            k = self.pos
+            while k < len(self.tokens):
+                if self.tokens[k] == "(":
+                    depth += 1
+                elif self.tokens[k] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            follower = self.tokens[k + 1] if k + 1 < len(self.tokens) else None
+            if follower == "{":
+                self.pos -= 1
+                group.groups.append(self.parse_group())
+            else:
+                self.next()  # '('
+                args: List[str] = []
+                while self.peek() != ")":
+                    token = self.next()
+                    if token != ",":
+                        args.append(_unquote(token))
+                self.expect(")")
+                if self.peek() == ";":
+                    self.next()
+                group.complex_attrs.setdefault(name, []).append(args)
+        else:
+            raise LibertyError(f"unexpected token {token!r} after {name!r}")
+
+
+def parse_liberty_groups(text: str) -> LibertyGroup:
+    """Parse Liberty text into its generic group tree (root = ``library``)."""
+    parser = _Parser(_tokenize(text))
+    root = parser.parse_group()
+    if root.kind != "library":
+        raise LibertyError(f"top-level group is {root.kind!r}, expected 'library'")
+    if parser.peek() is not None:
+        raise LibertyError(f"trailing tokens after library group: {parser.peek()!r}")
+    return root
+
+
+# ----------------------------------------------------------------------
+# Group tree -> Library
+# ----------------------------------------------------------------------
+def _values_to_array(args: List[List[str]]) -> np.ndarray:
+    rows = []
+    for arg_list in args:
+        for arg in arg_list:
+            rows.append([float(v) for v in arg.replace(",", " ").split()])
+    return np.asarray(rows, dtype=np.float64)
+
+
+def _parse_lut(table: LibertyGroup) -> LUT:
+    index_1 = table.complex_attrs.get("index_1")
+    index_2 = table.complex_attrs.get("index_2")
+    values = table.complex_attrs.get("values")
+    if values is None:
+        raise LibertyError(f"table {table.kind!r} missing values()")
+    matrix = _values_to_array(values)
+    x = _values_to_array(index_1).ravel() if index_1 else np.array([0.0])
+    y = _values_to_array(index_2).ravel() if index_2 else np.array([0.0])
+    return LUT(x, y, matrix.reshape(len(x), len(y)), name=table.kind)
+
+
+_TIMING_TYPE_TO_KIND = {
+    "combinational": ArcKind.COMBINATIONAL,
+    "rising_edge": ArcKind.CLOCK_TO_Q,
+    "setup_rising": ArcKind.SETUP,
+    "hold_rising": ArcKind.HOLD,
+}
+_KIND_TO_TIMING_TYPE = {v: k for k, v in _TIMING_TYPE_TO_KIND.items()}
+
+_SENSE_TO_UNATENESS = {
+    "positive_unate": Unateness.POSITIVE,
+    "negative_unate": Unateness.NEGATIVE,
+    "non_unate": Unateness.NON_UNATE,
+}
+
+
+def _parse_timing(pin_name: str, timing: LibertyGroup) -> TimingArc:
+    related = str(timing.attrs.get("related_pin", "")).strip()
+    if not related:
+        raise LibertyError(f"timing group under pin {pin_name!r} has no related_pin")
+    kind = _TIMING_TYPE_TO_KIND.get(
+        str(timing.attrs.get("timing_type", "combinational")).strip(),
+        ArcKind.COMBINATIONAL,
+    )
+    sense = _SENSE_TO_UNATENESS.get(
+        str(timing.attrs.get("timing_sense", "non_unate")).strip(),
+        Unateness.NON_UNATE,
+    )
+    luts: Dict[str, Optional[LUT]] = {}
+    for table_kind in (
+        "cell_rise",
+        "cell_fall",
+        "rise_transition",
+        "fall_transition",
+        "rise_constraint",
+        "fall_constraint",
+    ):
+        table = timing.first(table_kind)
+        luts[table_kind] = _parse_lut(table) if table is not None else None
+    return TimingArc(
+        from_pin=related,
+        to_pin=pin_name,
+        kind=kind,
+        unateness=sense,
+        **luts,
+    )
+
+
+def _parse_cell(group: LibertyGroup, row_height: float) -> CellType:
+    name = group.args[0] if group.args else "<anon>"
+    area = group.get_float("area", 0.0)
+    height = group.get_float("repro_height", row_height)
+    width = group.get_float("repro_width", area / height if height > 0 else 0.0)
+    is_sequential = group.first("ff") is not None
+    pins: List[PinSpec] = []
+    arcs: List[TimingArc] = []
+    function = ""
+    for pin_group in group.subgroups("pin"):
+        pin_name = pin_group.args[0]
+        direction = PinDirection(str(pin_group.attrs.get("direction", "input")).strip())
+        max_cap = pin_group.attrs.get("max_capacitance")
+        pins.append(
+            PinSpec(
+                name=pin_name,
+                direction=direction,
+                capacitance=pin_group.get_float("capacitance", 0.0),
+                is_clock=str(pin_group.attrs.get("clock", "false")).strip() == "true",
+                max_capacitance=float(max_cap) if max_cap is not None else None,
+            )
+        )
+        if "function" in pin_group.attrs and direction is PinDirection.OUTPUT:
+            function = str(pin_group.attrs["function"]).strip()
+        for timing in pin_group.subgroups("timing"):
+            arcs.append(_parse_timing(pin_name, timing))
+    return CellType(
+        name=name,
+        width=width,
+        height=height,
+        pins=pins,
+        arcs=arcs,
+        is_sequential=is_sequential,
+        function=function,
+    )
+
+
+def parse_liberty(text: str) -> Library:
+    """Parse Liberty text into a :class:`~repro.netlist.library.Library`."""
+    root = parse_liberty_groups(text)
+    lib = Library(name=root.args[0] if root.args else "unnamed")
+    lib.time_unit = str(root.attrs.get("time_unit", "1ps")).strip()
+    lib.default_input_slew = (
+        float(root.attrs["default_input_slew"])
+        if "default_input_slew" in root.attrs
+        else lib.default_input_slew
+    )
+    wire_group = root.first("wire_load")
+    if wire_group is not None:
+        lib.wire = WireModel(
+            res_per_um=wire_group.get_float("resistance", lib.wire.res_per_um),
+            cap_per_um=wire_group.get_float("capacitance", lib.wire.cap_per_um),
+        )
+    row_height = 2.0
+    for cell_group in root.subgroups("cell"):
+        if "repro_height" in cell_group.attrs:
+            row_height = cell_group.get_float("repro_height", row_height)
+            break
+    for cell_group in root.subgroups("cell"):
+        lib.add(_parse_cell(cell_group, row_height))
+    return lib
+
+
+def read_liberty_file(path: str) -> Library:
+    """Read and parse a Liberty file."""
+    with open(path) as handle:
+        return parse_liberty(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Library -> Liberty text
+# ----------------------------------------------------------------------
+def _fmt(value: float) -> str:
+    # repr() of a float is the shortest string that round-trips exactly,
+    # which keeps write->parse LUT round-trips bit-exact.
+    return repr(float(value))
+
+
+def _emit_lut(lines: List[str], indent: str, kind: str, lut: LUT) -> None:
+    lines.append(f"{indent}{kind} (lut_{lut.values.shape[0]}x{lut.values.shape[1]}) {{")
+    inner = indent + "  "
+    lines.append(
+        f'{inner}index_1 ("{", ".join(_fmt(v) for v in lut.x)}");'
+    )
+    lines.append(
+        f'{inner}index_2 ("{", ".join(_fmt(v) for v in lut.y)}");'
+    )
+    rows = ", \\\n".join(
+        f'{inner}  "{", ".join(_fmt(v) for v in row)}"' for row in lut.values
+    )
+    lines.append(f"{inner}values ( \\\n{rows});")
+    lines.append(f"{indent}}}")
+
+
+_SENSE_FROM_UNATENESS = {v: k for k, v in _SENSE_TO_UNATENESS.items()}
+
+
+def write_liberty(lib: Library) -> str:
+    """Serialise a :class:`Library` to Liberty text."""
+    lines: List[str] = [f"library ({lib.name}) {{"]
+    lines.append(f'  time_unit : "{lib.time_unit}";')
+    lines.append(f'  capacitive_load_unit (1, ff);')
+    lines.append(f"  default_input_slew : {_fmt(lib.default_input_slew)};")
+    lines.append('  wire_load ("default") {')
+    lines.append(f"    resistance : {_fmt(lib.wire.res_per_um)};")
+    lines.append(f"    capacitance : {_fmt(lib.wire.cap_per_um)};")
+    lines.append("  }")
+    for cell in lib:
+        lines.append(f"  cell ({cell.name}) {{")
+        lines.append(f"    area : {_fmt(cell.area)};")
+        lines.append(f"    repro_width : {_fmt(cell.width)};")
+        lines.append(f"    repro_height : {_fmt(cell.height)};")
+        if cell.is_sequential:
+            lines.append('    ff (IQ, IQN) {')
+            lines.append('      clocked_on : "CK";')
+            lines.append('      next_state : "D";')
+            lines.append("    }")
+        arcs_by_pin: Dict[str, List[TimingArc]] = {}
+        for arc in cell.arcs:
+            arcs_by_pin.setdefault(arc.to_pin, []).append(arc)
+        for pin in cell.pins:
+            lines.append(f"    pin ({pin.name}) {{")
+            lines.append(f"      direction : {pin.direction.value};")
+            if pin.direction is PinDirection.INPUT:
+                lines.append(f"      capacitance : {_fmt(pin.capacitance)};")
+            if pin.is_clock:
+                lines.append("      clock : true;")
+            if pin.max_capacitance is not None:
+                lines.append(f"      max_capacitance : {_fmt(pin.max_capacitance)};")
+            if pin.direction is PinDirection.OUTPUT and cell.function:
+                lines.append(f'      function : "{cell.function}";')
+            for arc in arcs_by_pin.get(pin.name, []):
+                lines.append("      timing () {")
+                lines.append(f'        related_pin : "{arc.from_pin}";')
+                lines.append(f"        timing_type : {_KIND_TO_TIMING_TYPE[arc.kind]};")
+                if arc.kind.is_delay_arc:
+                    lines.append(
+                        f"        timing_sense : {_SENSE_FROM_UNATENESS[arc.unateness]};"
+                    )
+                for kind_name in (
+                    "cell_rise",
+                    "cell_fall",
+                    "rise_transition",
+                    "fall_transition",
+                    "rise_constraint",
+                    "fall_constraint",
+                ):
+                    lut = getattr(arc, kind_name)
+                    if lut is not None:
+                        _emit_lut(lines, "        ", kind_name, lut)
+                lines.append("      }")
+            lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_liberty_file(lib: Library, path: str) -> None:
+    """Serialise a library to a ``.lib`` file."""
+    with open(path, "w") as handle:
+        handle.write(write_liberty(lib))

@@ -1,0 +1,140 @@
+"""Two-dimensional lookup tables in the NLDM (non-linear delay model) style.
+
+A :class:`LUT` is an ``N x M`` value matrix with two monotonically increasing
+index vectors.  Queries are answered by bilinear interpolation inside the
+table and by linear extrapolation outside of it, exactly as a conventional
+STA engine treats Liberty ``values`` groups (and as Figure 6 of the paper
+describes).  The scalar implementation here is the reference model; the
+batched, differentiable kernel used by the placer lives in
+:mod:`repro.core.lut_grad` and is tested against this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LUT"]
+
+
+def _segment_index(axis: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Return the index of the interpolation segment for each query point.
+
+    The result ``i`` satisfies ``axis[i] <= q < axis[i + 1]`` for in-range
+    queries and is clamped to the first/last segment otherwise, which yields
+    linear extrapolation when used with the standard interpolation formula.
+    """
+    idx = np.searchsorted(axis, query, side="right") - 1
+    return np.clip(idx, 0, max(len(axis) - 2, 0))
+
+
+@dataclass
+class LUT:
+    """A 2-D lookup table ``values[i, j]`` indexed by ``(x[i], y[j])``.
+
+    In NLDM delay/slew tables ``x`` is the input transition (slew) axis and
+    ``y`` is the output load (capacitance) axis.  Degenerate tables with a
+    single row and/or column behave as constants along that axis.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    values: np.ndarray
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        self.x = np.atleast_1d(np.asarray(self.x, dtype=np.float64))
+        self.y = np.atleast_1d(np.asarray(self.y, dtype=np.float64))
+        self.values = np.asarray(self.values, dtype=np.float64).reshape(
+            len(self.x), len(self.y)
+        )
+        if len(self.x) > 1 and np.any(np.diff(self.x) <= 0):
+            raise ValueError(f"LUT {self.name!r}: x axis must be increasing")
+        if len(self.y) > 1 and np.any(np.diff(self.y) <= 0):
+            raise ValueError(f"LUT {self.name!r}: y axis must be increasing")
+
+    @property
+    def shape(self) -> tuple:
+        return self.values.shape
+
+    @classmethod
+    def constant(cls, value: float, name: str = "") -> "LUT":
+        """A 1x1 table that returns ``value`` for every query."""
+        return cls(np.array([0.0]), np.array([0.0]), np.array([[value]]), name)
+
+    def lookup(self, x, y):
+        """Bilinearly interpolate (or linearly extrapolate) at ``(x, y)``.
+
+        Both arguments broadcast; the result has the broadcast shape.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        x, y = np.broadcast_arrays(x, y)
+        out, _, _ = self.lookup_with_grad(x, y)
+        return out if out.shape else float(out)
+
+    def lookup_with_grad(self, x, y):
+        """Return ``(value, d value/d x, d value/d y)`` at the query points.
+
+        Within an interpolation cell the surface is bilinear, so the partial
+        derivatives are themselves 1-D interpolations (Figure 6 of the
+        paper).  On cell boundaries the right-sided derivative is returned.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        x, y = np.broadcast_arrays(x, y)
+
+        if len(self.x) == 1 and len(self.y) == 1:
+            v = np.full(x.shape, self.values[0, 0])
+            z = np.zeros_like(v)
+            return v, z, z
+
+        if len(self.x) == 1:
+            j = _segment_index(self.y, y)
+            y0, y1 = self.y[j], self.y[j + 1]
+            v0, v1 = self.values[0, j], self.values[0, j + 1]
+            t = (y - y0) / (y1 - y0)
+            val = v0 + t * (v1 - v0)
+            return val, np.zeros_like(val), (v1 - v0) / (y1 - y0)
+
+        if len(self.y) == 1:
+            i = _segment_index(self.x, x)
+            x0, x1 = self.x[i], self.x[i + 1]
+            v0, v1 = self.values[i, 0], self.values[i + 1, 0]
+            t = (x - x0) / (x1 - x0)
+            val = v0 + t * (v1 - v0)
+            return val, (v1 - v0) / (x1 - x0), np.zeros_like(val)
+
+        i = _segment_index(self.x, x)
+        j = _segment_index(self.y, y)
+        x0, x1 = self.x[i], self.x[i + 1]
+        y0, y1 = self.y[j], self.y[j + 1]
+        q00 = self.values[i, j]
+        q01 = self.values[i, j + 1]
+        q10 = self.values[i + 1, j]
+        q11 = self.values[i + 1, j + 1]
+        tx = (x - x0) / (x1 - x0)
+        ty = (y - y0) / (y1 - y0)
+        # Two 1-D interpolations along y, then one along x.
+        v0 = q00 + ty * (q01 - q00)
+        v1 = q10 + ty * (q11 - q10)
+        val = v0 + tx * (v1 - v0)
+        dval_dx = (v1 - v0) / (x1 - x0)
+        d0 = (q01 - q00) / (y1 - y0)
+        d1 = (q11 - q10) / (y1 - y0)
+        dval_dy = d0 + tx * (d1 - d0)
+        return val, dval_dx, dval_dy
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LUT):
+            return NotImplemented
+        return (
+            self.values.shape == other.values.shape
+            and np.allclose(self.x, other.x)
+            and np.allclose(self.y, other.y)
+            and np.allclose(self.values, other.values)
+        )
+
+    def __repr__(self) -> str:
+        return f"LUT({self.name!r}, shape={self.values.shape})"

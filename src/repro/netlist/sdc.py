@@ -1,0 +1,188 @@
+"""SDC (Synopsys Design Constraints) subset reader/writer.
+
+Supports the commands the timers consume, in the single-ideal-clock setting
+of the paper's evaluation:
+
+- ``create_clock -name NAME -period P [get_ports PORT]``
+- ``set_input_delay D -clock NAME [get_ports PORT ...]``
+- ``set_output_delay D -clock NAME [get_ports PORT ...]``
+- ``set_input_transition S [get_ports PORT ...]``
+- ``set_load C [get_ports PORT ...]``
+
+Port lists accept ``[get_ports {a b c}]``, ``[all_inputs]`` and
+``[all_outputs]`` (the latter two resolve against a provided design).
+The parser fills a :class:`~repro.netlist.design.Constraints` object; the
+writer emits text that parses back to an equivalent object.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import List, Optional, Sequence
+
+from .design import Constraints, Design
+
+__all__ = ["parse_sdc", "write_sdc", "read_sdc_file", "write_sdc_file", "SDCError"]
+
+
+class SDCError(ValueError):
+    """Raised on malformed SDC input."""
+
+
+_BRACKET_RE = re.compile(r"\[([^\[\]]*)\]")
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Join backslash continuations and strip comments/empties."""
+    joined = text.replace("\\\n", " ")
+    lines = []
+    for raw in joined.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            lines.append(line)
+    return lines
+
+
+def _resolve_ports(
+    expr: str, design: Optional[Design]
+) -> List[str]:
+    """Resolve a bracketed port expression to a list of port names."""
+    expr = expr.strip()
+    if expr.startswith("get_ports"):
+        rest = expr[len("get_ports"):].strip()
+        rest = rest.strip("{}")
+        return rest.split()
+    if expr == "all_inputs":
+        if design is None:
+            raise SDCError("all_inputs requires a design to resolve against")
+        return [
+            design.cell_name[i]
+            for i in range(design.n_cells)
+            if design.cell_types[design.cell_type[i]].name == "<PORT_IN>"
+        ]
+    if expr == "all_outputs":
+        if design is None:
+            raise SDCError("all_outputs requires a design to resolve against")
+        return [
+            design.cell_name[i]
+            for i in range(design.n_cells)
+            if design.cell_types[design.cell_type[i]].name == "<PORT_OUT>"
+        ]
+    raise SDCError(f"unsupported port expression [{expr}]")
+
+
+def _split_command(line: str, design: Optional[Design]) -> tuple:
+    """Split an SDC line into tokens; bracket groups become port lists."""
+    ports: List[List[str]] = []
+
+    def replace(match: "re.Match") -> str:
+        ports.append(_resolve_ports(match.group(1), design))
+        return f"@PORTS{len(ports) - 1}@"
+
+    flat = _BRACKET_RE.sub(replace, line)
+    tokens = shlex.split(flat)
+    resolved: List[object] = []
+    for token in tokens:
+        m = re.fullmatch(r"@PORTS(\d+)@", token)
+        resolved.append(ports[int(m.group(1))] if m else token)
+    return resolved[0], resolved[1:]
+
+
+def parse_sdc(
+    text: str,
+    design: Optional[Design] = None,
+    constraints: Optional[Constraints] = None,
+) -> Constraints:
+    """Parse SDC text into a :class:`Constraints` object."""
+    c = constraints if constraints is not None else Constraints()
+    for line in _logical_lines(text):
+        command, args = _split_command(line, design)
+        if command == "create_clock":
+            i = 0
+            while i < len(args):
+                arg = args[i]
+                if arg == "-name":
+                    i += 2
+                elif arg == "-period":
+                    c.clock_period = float(args[i + 1])
+                    i += 2
+                elif isinstance(arg, list):
+                    if arg:
+                        c.clock_port = arg[0]
+                    i += 1
+                else:
+                    i += 1
+        elif command in ("set_input_delay", "set_output_delay"):
+            value = None
+            port_list: Sequence[str] = []
+            i = 0
+            while i < len(args):
+                arg = args[i]
+                if arg == "-clock":
+                    i += 2
+                elif isinstance(arg, list):
+                    port_list = arg
+                    i += 1
+                else:
+                    value = float(arg)
+                    i += 1
+            if value is None:
+                raise SDCError(f"{command} without a delay value: {line!r}")
+            target = (
+                c.input_delays if command == "set_input_delay" else c.output_delays
+            )
+            for port in port_list:
+                target[port] = value
+        elif command in ("set_input_transition", "set_load"):
+            value = None
+            port_list = []
+            for arg in args:
+                if isinstance(arg, list):
+                    port_list = arg
+                else:
+                    value = float(arg)
+            if value is None:
+                raise SDCError(f"{command} without a value: {line!r}")
+            target = (
+                c.input_slews if command == "set_input_transition" else c.output_loads
+            )
+            for port in port_list:
+                target[port] = value
+        else:
+            raise SDCError(f"unsupported SDC command {command!r}")
+    return c
+
+
+def write_sdc(constraints: Constraints, clock_name: str = "core_clk") -> str:
+    """Serialise constraints to SDC text."""
+    c = constraints
+    lines = [
+        f"create_clock -name {clock_name} -period {c.clock_period!r} "
+        f"[get_ports {c.clock_port}]"
+    ]
+    for port, delay in sorted(c.input_delays.items()):
+        lines.append(
+            f"set_input_delay {delay!r} -clock {clock_name} [get_ports {port}]"
+        )
+    for port, delay in sorted(c.output_delays.items()):
+        lines.append(
+            f"set_output_delay {delay!r} -clock {clock_name} [get_ports {port}]"
+        )
+    for port, slew in sorted(c.input_slews.items()):
+        lines.append(f"set_input_transition {slew!r} [get_ports {port}]")
+    for port, load in sorted(c.output_loads.items()):
+        lines.append(f"set_load {load!r} [get_ports {port}]")
+    return "\n".join(lines) + "\n"
+
+
+def read_sdc_file(path: str, design: Optional[Design] = None) -> Constraints:
+    """Read and parse an SDC file."""
+    with open(path) as handle:
+        return parse_sdc(handle.read(), design)
+
+
+def write_sdc_file(constraints: Constraints, path: str) -> None:
+    """Write constraints to an SDC file."""
+    with open(path, "w") as handle:
+        handle.write(write_sdc(constraints))

@@ -1,0 +1,43 @@
+"""Nonlinear global placement substrate and baselines."""
+
+from .wirelength import WAWirelength, hpwl
+from .density import DensityModel, DensityResult
+from .optimizer import AdamOptimizer, NesterovOptimizer, make_optimizer
+from .placer import GlobalPlacer, PlacerOptions, PlacerResult
+from .legalize import greedy_refine, legalize, max_overlap
+from .netweight import MomentumNetWeighter, NetWeightOptions, NetWeightingPlacer
+from .detailed import (
+    DetailedPlacerOptions,
+    TimingDrivenDetailedPlacer,
+)
+from .criticality import CRITICALITY_POLICIES, make_criticality
+from .congestion import CongestionMap, rudy_map
+from .buffering import BufferingOptions, BufferingResult, TimingDrivenBufferizer
+
+__all__ = [
+    "WAWirelength",
+    "hpwl",
+    "DensityModel",
+    "DensityResult",
+    "AdamOptimizer",
+    "NesterovOptimizer",
+    "make_optimizer",
+    "GlobalPlacer",
+    "PlacerOptions",
+    "PlacerResult",
+    "greedy_refine",
+    "legalize",
+    "max_overlap",
+    "MomentumNetWeighter",
+    "NetWeightOptions",
+    "NetWeightingPlacer",
+    "DetailedPlacerOptions",
+    "TimingDrivenDetailedPlacer",
+    "CRITICALITY_POLICIES",
+    "make_criticality",
+    "CongestionMap",
+    "rudy_map",
+    "BufferingOptions",
+    "BufferingResult",
+    "TimingDrivenBufferizer",
+]

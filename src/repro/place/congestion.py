@@ -1,0 +1,92 @@
+"""RUDY routing-congestion estimation.
+
+RUDY (Rectangular Uniform wire DensitY, Spindler & Johannes, DATE 2007)
+spreads each net's expected wire volume uniformly over its bounding box:
+
+    density(net) = wirelength / area = (w + h) / (w * h)
+
+accumulated over a bin grid.  It is the standard pre-routing congestion
+proxy in placement studies (the routability-driven placers of the paper's
+related work optimise exactly this kind of map); here it provides a
+congestion *report* for placements so experiments can verify that timing
+optimization does not silently wreck routability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..netlist.design import Design
+
+__all__ = ["CongestionMap", "rudy_map"]
+
+
+@dataclass
+class CongestionMap:
+    """RUDY utilisation per bin plus summary statistics."""
+
+    density: np.ndarray  # (nb, nb) expected wire density
+    bin_w: float
+    bin_h: float
+
+    @property
+    def peak(self) -> float:
+        return float(self.density.max())
+
+    @property
+    def mean(self) -> float:
+        return float(self.density.mean())
+
+    def overflow_fraction(self, capacity: float) -> float:
+        """Fraction of bins whose RUDY density exceeds ``capacity``."""
+        return float((self.density > capacity).mean())
+
+
+def rudy_map(
+    design: Design,
+    cell_x: Optional[np.ndarray] = None,
+    cell_y: Optional[np.ndarray] = None,
+    n_bins: int = 32,
+) -> CongestionMap:
+    """Compute the RUDY congestion map of a placement.
+
+    Each net contributes ``(w + h) / (w * h)`` density over its pin
+    bounding box, deposited exactly (area-weighted) into the bin grid.
+    Degenerate boxes are inflated to one wire pitch so point nets still
+    register their local wire demand.
+    """
+    px, py = design.pin_positions(cell_x, cell_y)
+    xl, yl, xh, yh = design.die
+    bw = (xh - xl) / n_bins
+    bh = (yh - yl) / n_bins
+    density = np.zeros((n_bins, n_bins))
+    pitch = 0.5 * min(bw, bh)
+
+    starts = design.net2pin_start
+    order = design.net2pin
+    for ni in range(design.n_nets):
+        pins = order[starts[ni] : starts[ni + 1]]
+        if len(pins) < 2:
+            continue
+        x0, x1 = float(px[pins].min()), float(px[pins].max())
+        y0, y1 = float(py[pins].min()), float(py[pins].max())
+        w = max(x1 - x0, pitch)
+        h = max(y1 - y0, pitch)
+        rudy = (w + h) / (w * h)
+        # Exact area-weighted deposition over covered bins.
+        bx0 = int(np.clip((x0 - xl) / bw, 0, n_bins - 1))
+        bx1 = int(np.clip((x0 + w - xl) / bw, 0, n_bins - 1))
+        by0 = int(np.clip((y0 - yl) / bh, 0, n_bins - 1))
+        by1 = int(np.clip((y0 + h - yl) / bh, 0, n_bins - 1))
+        for bx in range(bx0, bx1 + 1):
+            ox = min(x0 + w, xl + (bx + 1) * bw) - max(x0, xl + bx * bw)
+            if ox <= 0:
+                continue
+            for by in range(by0, by1 + 1):
+                oy = min(y0 + h, yl + (by + 1) * bh) - max(y0, yl + by * bh)
+                if oy > 0:
+                    density[bx, by] += rudy * (ox * oy) / (bw * bh)
+    return CongestionMap(density=density, bin_w=bw, bin_h=bh)

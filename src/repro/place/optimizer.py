@@ -1,0 +1,129 @@
+"""First-order optimizers for nonlinear placement.
+
+:class:`NesterovOptimizer` follows the ePlace/DREAMPlace recipe: Nesterov
+acceleration with a Barzilai-Borwein step size estimated from consecutive
+lookahead iterates, plus step clamping for robustness.
+:class:`AdamOptimizer` is a simpler fallback with the same interface.
+Both operate on a flat parameter vector; masking of fixed cells is the
+caller's job (their gradient entries are zero).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NesterovOptimizer", "AdamOptimizer", "make_optimizer"]
+
+
+class NesterovOptimizer:
+    """Nesterov accelerated gradient with Barzilai-Borwein step size."""
+
+    def __init__(
+        self,
+        x0: np.ndarray,
+        lr: float,
+        lr_min_ratio: float = 1e-3,
+        lr_max_ratio: float = 20.0,
+        bounds: Optional[tuple] = None,
+    ) -> None:
+        self.u = x0.astype(np.float64).copy()  # main iterate
+        self.v = x0.astype(np.float64).copy()  # lookahead iterate
+        self.a = 1.0
+        self.lr = float(lr)
+        self.lr_min = lr * lr_min_ratio
+        self.lr_max = lr * lr_max_ratio
+        self.bounds = bounds
+        self._prev_v: Optional[np.ndarray] = None
+        self._prev_grad: Optional[np.ndarray] = None
+
+    def _project(self, x: np.ndarray) -> np.ndarray:
+        """Clip into the feasible box (gradients are evaluated at the
+        lookahead point, so it must stay inside the placement region)."""
+        if self.bounds is not None:
+            np.clip(x, self.bounds[0], self.bounds[1], out=x)
+        return x
+
+    @property
+    def params(self) -> np.ndarray:
+        """Point at which the caller should evaluate the gradient."""
+        return self.v
+
+    def restart(self, lr_scale: float = 0.5) -> None:
+        """Drop momentum and shrink the step bounds (divergence recovery)."""
+        self.v = self.u.copy()
+        self.a = 1.0
+        self._prev_v = None
+        self._prev_grad = None
+        self.lr_max = max(self.lr_max * lr_scale, self.lr_min)
+        self.lr = min(self.lr * lr_scale, self.lr_max)
+
+    def step(self, grad: np.ndarray) -> np.ndarray:
+        """Consume the gradient at ``params``; returns the new main iterate."""
+        if self._prev_grad is not None:
+            dv = self.v - self._prev_v
+            dg = grad - self._prev_grad
+            denom = float(dg @ dg)
+            if np.isfinite(denom) and denom > 1e-20:
+                bb = abs(float(dv @ dg)) / denom
+                if np.isfinite(bb) and bb > 0:
+                    self.lr = float(np.clip(bb, self.lr_min, self.lr_max))
+        self._prev_v = self.v.copy()
+        self._prev_grad = grad.copy()
+
+        u_next = self._project(self.v - self.lr * grad)
+        a_next = 0.5 * (1.0 + np.sqrt(4.0 * self.a * self.a + 1.0))
+        self.v = self._project(
+            u_next + ((self.a - 1.0) / a_next) * (u_next - self.u)
+        )
+        self.u = u_next
+        self.a = a_next
+        return self.u
+
+
+class AdamOptimizer:
+    """Adam with the same ``params``/``step`` interface."""
+
+    def __init__(
+        self,
+        x0: np.ndarray,
+        lr: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-12,
+        bounds: Optional[tuple] = None,
+    ) -> None:
+        self.x = x0.astype(np.float64).copy()
+        self.bounds = bounds
+        self.lr = float(lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.m = np.zeros_like(self.x)
+        self.s = np.zeros_like(self.x)
+        self.t = 0
+
+    @property
+    def params(self) -> np.ndarray:
+        return self.x
+
+    def step(self, grad: np.ndarray) -> np.ndarray:
+        self.t += 1
+        self.m = self.beta1 * self.m + (1 - self.beta1) * grad
+        self.s = self.beta2 * self.s + (1 - self.beta2) * grad * grad
+        m_hat = self.m / (1 - self.beta1**self.t)
+        s_hat = self.s / (1 - self.beta2**self.t)
+        self.x = self.x - self.lr * m_hat / (np.sqrt(s_hat) + self.eps)
+        if self.bounds is not None:
+            np.clip(self.x, self.bounds[0], self.bounds[1], out=self.x)
+        return self.x
+
+
+def make_optimizer(kind: str, x0: np.ndarray, lr: float, bounds=None):
+    """Factory for the optimizers above ('nesterov' or 'adam')."""
+    if kind == "nesterov":
+        return NesterovOptimizer(x0, lr, bounds=bounds)
+    if kind == "adam":
+        return AdamOptimizer(x0, lr, bounds=bounds)
+    raise ValueError(f"unknown optimizer {kind!r}")

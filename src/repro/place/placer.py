@@ -1,0 +1,305 @@
+"""Nonlinear global placement driver (the DREAMPlace substrate).
+
+Implements the wirelength + density optimization of Equation (3) of the
+paper: weighted-average wirelength, electrostatic density with a scheduled
+penalty weight, Nesterov/Adam optimization, and a density-overflow stopping
+criterion.  Two extension hooks make it the shared engine for all three
+placers compared in Table 3:
+
+- ``net_weight_fn(iteration, x, y)`` may return updated per-net weights
+  (the net-weighting baseline of [24]);
+- ``extra_grad_fn(iteration, x, y)`` may return an additional objective
+  gradient plus metrics (the differentiable timing objective, Eq. (6)).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.design import Design
+from .density import DensityModel
+from .optimizer import make_optimizer
+from .wirelength import WAWirelength, hpwl
+
+__all__ = ["PlacerOptions", "PlacerResult", "GlobalPlacer"]
+
+ExtraGradFn = Callable[[int, np.ndarray, np.ndarray], Optional[Tuple]]
+NetWeightFn = Callable[[int, np.ndarray, np.ndarray], Optional[np.ndarray]]
+
+
+def _auto_bins(design: Design) -> int:
+    """Grid resolution with bins no finer than the average movable cell.
+
+    Point (cloud-in-cell) density deposition cannot resolve overlap below
+    the bin scale, so bins finer than a cell make the density field noisy
+    and stall spreading.
+    """
+    movable = ~design.cell_fixed
+    areas = (design.cell_w * design.cell_h)[movable]
+    avg_dim = float(np.sqrt(areas.mean())) if len(areas) else 1.0
+    xl, yl, xh, yh = design.die
+    span = 0.5 * ((xh - xl) + (yh - yl))
+    n_bins = 2 ** int(np.floor(np.log2(max(span / max(avg_dim, 1e-9), 8.0))))
+    return int(np.clip(n_bins, 8, 256))
+
+
+@dataclass
+class PlacerOptions:
+    """Tuning knobs of the global placer."""
+
+    n_bins: Optional[int] = None  # None = auto: bin size ~ avg cell size
+    target_density: float = 1.0
+    max_iters: int = 500
+    min_iters: int = 40
+    stop_overflow: float = 0.08
+    gamma_base_factor: float = 4.0  # wirelength smoothing, in bin sizes
+    lambda_init_ratio: float = 5e-4  # initial density weight vs gradient norms
+    lambda_mult: float = 1.05
+    lambda_max: float = 1e6
+    optimizer: str = "nesterov"
+    lr_fraction: float = 0.05  # initial step as fraction of die span
+    noise_fraction: float = 0.02  # initial spread of movable cells
+    seed: int = 0
+    trace_every: int = 1
+    verbose: bool = False
+
+
+@dataclass
+class PlacerResult:
+    """Final placement plus the per-iteration trace."""
+
+    x: np.ndarray
+    y: np.ndarray
+    iterations: int
+    runtime: float
+    stop_reason: str
+    trace: List[Dict[str, float]] = field(default_factory=list)
+    hpwl: float = 0.0
+    overflow: float = 0.0
+
+    def series(self, key: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Extract (iteration, value) arrays for one traced metric."""
+        its = [t["iteration"] for t in self.trace if key in t]
+        vals = [t[key] for t in self.trace if key in t]
+        return np.asarray(its), np.asarray(vals)
+
+
+class GlobalPlacer:
+    """Analytical global placer with timing extension hooks."""
+
+    def __init__(
+        self,
+        design: Design,
+        options: Optional[PlacerOptions] = None,
+        extra_grad_fn: Optional[ExtraGradFn] = None,
+        net_weight_fn: Optional[NetWeightFn] = None,
+    ) -> None:
+        self.design = design
+        self.options = options if options is not None else PlacerOptions()
+        self.extra_grad_fn = extra_grad_fn
+        self.net_weight_fn = net_weight_fn
+        self.wirelength = WAWirelength(design)
+        n_bins = self.options.n_bins
+        if n_bins is None:
+            n_bins = _auto_bins(design)
+        self.density = DensityModel(design, n_bins, self.options.target_density)
+        self.movable = ~design.cell_fixed
+        #: L1 norm of the latest wirelength gradient; extra-gradient hooks
+        #: may read this to normalise their own magnitude.
+        self.last_wl_grad_l1 = 0.0
+        #: Density overflow at the latest iteration (for hook feedback).
+        self.last_overflow = 1.0
+        # Preconditioner: pins per cell (wirelength Hessian proxy).
+        self.cell_pin_count = np.bincount(
+            design.pin2cell, minlength=design.n_cells
+        ).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    def initial_positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Movable cells near the die center with a small random spread."""
+        design = self.design
+        rng = np.random.default_rng(self.options.seed)
+        xl, yl, xh, yh = design.die
+        cx, cy = 0.5 * (xl + xh), 0.5 * (yl + yh)
+        x = design.cell_x.copy()
+        y = design.cell_y.copy()
+        n_mov = int(self.movable.sum())
+        span = self.options.noise_fraction
+        x[self.movable] = cx + rng.uniform(-span, span, n_mov) * (xh - xl)
+        y[self.movable] = cy + rng.uniform(-span, span, n_mov) * (yh - yl)
+        return x, y
+
+    def _gamma(self, overflow: float) -> float:
+        """Wirelength smoothing schedule: tight when nearly spread."""
+        base = self.options.gamma_base_factor * self.density.bin_size
+        return base * (0.1 + 0.9 * min(max(overflow, 0.0), 1.0))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        x0: Optional[np.ndarray] = None,
+        y0: Optional[np.ndarray] = None,
+    ) -> PlacerResult:
+        """Run global placement to the overflow stop criterion."""
+        design = self.design
+        opts = self.options
+        start_time = time.perf_counter()
+
+        if x0 is None or y0 is None:
+            x, y = self.initial_positions()
+        else:
+            x, y = x0.copy(), y0.copy()
+
+        n = design.n_cells
+        xl, yl, xh, yh = design.die
+        die_span = 0.5 * ((xh - xl) + (yh - yl))
+        pos = np.concatenate([x, y])
+        # Both the iterate and the Nesterov lookahead point are projected
+        # into the die: gradients (in particular the timing objective) are
+        # evaluated at the lookahead, which must stay physical.  Fixed
+        # cells never move (zero gradient), so clipping cannot shift them.
+        lo = np.concatenate([np.full(n, xl), np.full(n, yl)])
+        hi = np.concatenate([np.full(n, xh), np.full(n, yh)])
+        optimizer = make_optimizer(
+            opts.optimizer, pos, lr=opts.lr_fraction * die_span,
+            bounds=(lo, hi),
+        )
+        movable2 = np.concatenate([self.movable, self.movable])
+
+        lam = None
+        net_weights = np.ones(design.n_nets)
+        trace: List[Dict[str, float]] = []
+        stop_reason = "max_iters"
+        iteration = 0
+        overflow = 1.0
+        prev_overflow = 1.0
+        recent_hpwl: List[float] = []
+        best_overflow = np.inf
+        best_pos = pos.copy()
+
+        for iteration in range(opts.max_iters):
+            pos_eval = optimizer.params
+            x_eval = pos_eval[:n]
+            y_eval = pos_eval[n:]
+
+            if self.net_weight_fn is not None:
+                updated = self.net_weight_fn(iteration, x_eval, y_eval)
+                if updated is not None:
+                    net_weights = updated
+
+            gamma = self._gamma(overflow)
+            _, gwx, gwy = self.wirelength.evaluate(
+                x_eval, y_eval, gamma, net_weights
+            )
+            dres = self.density.evaluate(x_eval, y_eval)
+            overflow = dres.overflow
+
+            if lam is None:
+                wl_norm = float(np.abs(gwx).sum() + np.abs(gwy).sum())
+                d_norm = float(
+                    np.abs(dres.grad_x).sum() + np.abs(dres.grad_y).sum()
+                )
+                lam = opts.lambda_init_ratio * wl_norm / max(d_norm, 1e-12)
+
+            grad_x = gwx + lam * dres.grad_x
+            grad_y = gwy + lam * dres.grad_y
+
+            extra_metrics: Dict[str, float] = {}
+            if self.extra_grad_fn is not None:
+                self.last_wl_grad_l1 = float(
+                    np.abs(gwx).sum() + np.abs(gwy).sum()
+                )
+                self.last_overflow = overflow
+                extra = self.extra_grad_fn(iteration, x_eval, y_eval)
+                if extra is not None:
+                    egx, egy, extra_metrics = extra
+                    grad_x = grad_x + egx
+                    grad_y = grad_y + egy
+
+            precond = self.cell_pin_count + lam * self.density.area
+            precond = np.maximum(precond, 1.0)
+            grad = np.concatenate([grad_x / precond, grad_y / precond])
+            grad[~movable2] = 0.0
+            np.nan_to_num(grad, copy=False)
+
+            pos = optimizer.step(grad)
+            np.clip(pos[:n], xl, xh, out=pos[:n])
+            np.clip(pos[n:], yl, yh, out=pos[n:])
+
+            # Adaptive density-weight schedule: grow at the full rate only
+            # while the overflow is actually shrinking; otherwise creep.
+            # Unconditional exponential growth makes the density term
+            # arbitrarily stiff and eventually shakes the placement apart.
+            if overflow < prev_overflow - 1e-4:
+                lam = min(lam * opts.lambda_mult, opts.lambda_max)
+            else:
+                lam = min(lam * (1.0 + 0.25 * (opts.lambda_mult - 1.0)),
+                          opts.lambda_max)
+            prev_overflow = overflow
+
+            if overflow < best_overflow:
+                best_overflow = overflow
+                best_pos = pos.copy()
+            elif overflow > best_overflow + 0.4 and iteration > opts.min_iters:
+                # The trajectory exploded well past its best point; bail
+                # out and report the best iterate seen.
+                pos = best_pos
+                stop_reason = "diverged"
+                break
+
+            current_hpwl = hpwl(design, pos[:n], pos[n:])
+            # Divergence guard: Nesterov with Barzilai-Borwein steps can
+            # blow up when the density field is noisy.  Normal spreading
+            # grows HPWL by a few percent per iteration, so a jump well
+            # above the recent median marks a blowup - drop momentum and
+            # shrink the step bound, keeping the last stable iterate.
+            recent_hpwl.append(current_hpwl)
+            if len(recent_hpwl) > 20:
+                recent_hpwl.pop(0)
+            recent_median = float(np.median(recent_hpwl))
+            if (
+                len(recent_hpwl) == 20
+                and current_hpwl > 4.0 * recent_median
+                and hasattr(optimizer, "restart")
+            ):
+                optimizer.restart()
+                pos = optimizer.params
+                current_hpwl = hpwl(design, pos[:n], pos[n:])
+                recent_hpwl.clear()
+
+            if iteration % opts.trace_every == 0:
+                entry = {
+                    "iteration": float(iteration),
+                    "hpwl": current_hpwl,
+                    "overflow": overflow,
+                    "lambda": lam,
+                }
+                entry.update(extra_metrics)
+                trace.append(entry)
+                if opts.verbose and iteration % 50 == 0:
+                    print(
+                        f"iter {iteration:4d} hpwl {entry['hpwl']:.3e} "
+                        f"overflow {overflow:.3f}"
+                    )
+
+            if iteration >= opts.min_iters and overflow < opts.stop_overflow:
+                stop_reason = "overflow"
+                break
+
+        x_final = pos[:n].copy()
+        y_final = pos[n:].copy()
+        runtime = time.perf_counter() - start_time
+        return PlacerResult(
+            x=x_final,
+            y=y_final,
+            iterations=iteration + 1,
+            runtime=runtime,
+            stop_reason=stop_reason,
+            trace=trace,
+            hpwl=hpwl(design, x_final, y_final),
+            overflow=overflow,
+        )

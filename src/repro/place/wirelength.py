@@ -1,0 +1,124 @@
+"""Wirelength objectives: exact HPWL and the weighted-average (WA) model.
+
+HPWL is the reporting metric (Table 3 of the paper).  The optimizer uses
+the smooth weighted-average wirelength of DREAMPlace, whose per-net maximum
+is ``WA+ = sum(x * exp(x / gamma)) / sum(exp(x / gamma))`` with the closed-
+form gradient ``dWA+/dx_j = (a_j / b)(1 + (x_j - WA+) / gamma)``.  All
+reductions are computed net-by-net with CSR ``reduceat`` kernels, so the
+cost is linear in pins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..netlist.design import Design
+
+__all__ = ["hpwl", "WAWirelength"]
+
+
+def _segment_reduceat(op, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """`op.reduceat` guarded against empty trailing segments."""
+    return op.reduceat(values, starts)
+
+
+def hpwl(
+    design: Design,
+    cell_x: Optional[np.ndarray] = None,
+    cell_y: Optional[np.ndarray] = None,
+    net_weights: Optional[np.ndarray] = None,
+) -> float:
+    """(Weighted) half-perimeter wirelength of all nets."""
+    px, py = design.pin_positions(cell_x, cell_y)
+    starts = design.net2pin_start[:-1]
+    order = design.net2pin
+    if len(order) == 0:
+        return 0.0
+    x = px[order]
+    y = py[order]
+    span = (
+        np.maximum.reduceat(x, starts)
+        - np.minimum.reduceat(x, starts)
+        + np.maximum.reduceat(y, starts)
+        - np.minimum.reduceat(y, starts)
+    )
+    if net_weights is not None:
+        span = span * net_weights
+    return float(span.sum())
+
+
+class WAWirelength:
+    """Weighted-average wirelength with analytic gradients.
+
+    One instance caches the CSR layout of a design; :meth:`evaluate`
+    returns the smooth wirelength and its gradient with respect to cell
+    centers (pin offsets are rigid).
+    """
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self.starts = design.net2pin_start[:-1]
+        self.order = design.net2pin
+        self.degrees = design.net_degrees
+        # Nets with fewer than 2 pins contribute nothing.
+        self.active = (self.degrees >= 2).astype(np.float64)
+        self.pin_cells = design.pin2cell[self.order]
+
+    def _axis(
+        self, coord: np.ndarray, gamma: float, weights: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Smooth span and per-ordered-pin gradient along one axis."""
+        starts = self.starts
+        repeats = self.degrees
+
+        c_max = np.maximum.reduceat(coord, starts)
+        c_min = np.minimum.reduceat(coord, starts)
+        shift_max = np.repeat(c_max, repeats)
+        shift_min = np.repeat(c_min, repeats)
+
+        a_pos = np.exp((coord - shift_max) / gamma)
+        a_neg = np.exp((shift_min - coord) / gamma)
+        b_pos = np.add.reduceat(a_pos, starts)
+        b_neg = np.add.reduceat(a_neg, starts)
+        c_pos = np.add.reduceat(coord * a_pos, starts)
+        c_neg = np.add.reduceat(coord * a_neg, starts)
+        wa_pos = c_pos / b_pos
+        wa_neg = c_neg / b_neg
+
+        span = float(np.sum(weights * self.active * (wa_pos - wa_neg)))
+
+        w_rep = np.repeat(weights * self.active, repeats)
+        wa_pos_rep = np.repeat(wa_pos, repeats)
+        wa_neg_rep = np.repeat(wa_neg, repeats)
+        b_pos_rep = np.repeat(b_pos, repeats)
+        b_neg_rep = np.repeat(b_neg, repeats)
+        grad = w_rep * (
+            (a_pos / b_pos_rep) * (1.0 + (coord - wa_pos_rep) / gamma)
+            - (a_neg / b_neg_rep) * (1.0 - (coord - wa_neg_rep) / gamma)
+        )
+        return span, grad
+
+    def evaluate(
+        self,
+        cell_x: np.ndarray,
+        cell_y: np.ndarray,
+        gamma: float,
+        net_weights: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        """Return (smooth WL, dWL/dcell_x, dWL/dcell_y)."""
+        design = self.design
+        weights = (
+            np.ones(design.n_nets) if net_weights is None else net_weights
+        )
+        px, py = design.pin_positions(cell_x, cell_y)
+        x = px[self.order]
+        y = py[self.order]
+        wl_x, gx = self._axis(x, gamma, weights)
+        wl_y, gy = self._axis(y, gamma, weights)
+        grad_x = np.zeros(design.n_cells)
+        grad_y = np.zeros(design.n_cells)
+        np.add.at(grad_x, self.pin_cells, gx)
+        np.add.at(grad_y, self.pin_cells, gy)
+        return wl_x + wl_y, grad_x, grad_y

@@ -1,0 +1,13 @@
+"""Rectilinear Steiner tree routing substrate (FLUTE substitute)."""
+
+from .tree import Forest, RoutingTree
+from .rsmt import build_forest, build_rsmt, build_trees, rmst_length
+
+__all__ = [
+    "Forest",
+    "RoutingTree",
+    "build_forest",
+    "build_rsmt",
+    "build_trees",
+    "rmst_length",
+]

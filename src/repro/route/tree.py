@@ -1,0 +1,202 @@
+"""Routing-tree data structures.
+
+A :class:`RoutingTree` is a rooted rectilinear tree over one net: its nodes
+are the net's pins plus router-inserted Steiner points, with parent pointers
+toward the driver.  Every node records which pin *owns* each of its
+coordinates (Figure 4 of the paper): a Steiner point created on the Hanan
+grid copies its x from one pin and its y from another, so under small pin
+perturbations it moves with those pins and gradients on Steiner coordinates
+are routed to the owning pins.
+
+A :class:`Forest` flattens many trees into contiguous arrays with a global
+depth ordering, which is what the vectorised Elmore kernels (both the golden
+and the differentiable timer) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RoutingTree", "Forest"]
+
+
+@dataclass
+class RoutingTree:
+    """A rooted rectilinear Steiner tree for a single net.
+
+    Attributes
+    ----------
+    x, y:
+        Node coordinates.  Nodes ``0..n_pins-1`` are the net pins in the
+        order given at construction; the rest are Steiner points.
+    parent:
+        Parent node index per node; the root (driver) has parent ``-1``.
+    pins:
+        Global pin index per node (``-1`` for Steiner points).
+    owner_x, owner_y:
+        Local node index of the *pin* node owning each coordinate.  Pin
+        nodes own themselves.
+    root:
+        Local index of the driver node.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    parent: np.ndarray
+    pins: np.ndarray
+    owner_x: np.ndarray
+    owner_y: np.ndarray
+    root: int
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.x)
+
+    @property
+    def n_pins(self) -> int:
+        return int(np.count_nonzero(self.pins >= 0))
+
+    def edge_lengths(self) -> np.ndarray:
+        """Rectilinear length of the edge to each node's parent (0 at root)."""
+        lengths = np.zeros(self.n_nodes)
+        has_parent = self.parent >= 0
+        p = self.parent[has_parent]
+        lengths[has_parent] = np.abs(self.x[has_parent] - self.x[p]) + np.abs(
+            self.y[has_parent] - self.y[p]
+        )
+        return lengths
+
+    def wirelength(self) -> float:
+        """Total rectilinear wirelength of the tree."""
+        return float(self.edge_lengths().sum())
+
+    def depths(self) -> np.ndarray:
+        """Distance (in edges) of each node from the root."""
+        depth = np.full(self.n_nodes, -1, dtype=np.int64)
+        depth[self.root] = 0
+        # Parent pointers form a DAG toward the root; iterate until settled.
+        pending = True
+        while pending:
+            pending = False
+            for v in range(self.n_nodes):
+                if depth[v] < 0 and self.parent[v] >= 0 and depth[self.parent[v]] >= 0:
+                    depth[v] = depth[self.parent[v]] + 1
+                    pending = True
+        return depth
+
+    def validate(self) -> None:
+        """Raise AssertionError if the tree structure is inconsistent."""
+        assert self.parent[self.root] == -1, "root must have no parent"
+        assert (self.parent != np.arange(self.n_nodes)).all(), "self-loop"
+        depth = self.depths()
+        assert (depth >= 0).all(), "tree is disconnected"
+        for arr in (self.owner_x, self.owner_y):
+            assert ((arr >= 0) & (arr < self.n_nodes)).all()
+            assert (self.pins[arr] >= 0).all(), "owners must be pin nodes"
+        pin_nodes = np.nonzero(self.pins >= 0)[0]
+        assert (self.owner_x[pin_nodes] == pin_nodes).all()
+        assert (self.owner_y[pin_nodes] == pin_nodes).all()
+
+
+class Forest:
+    """Flattened array view of the routing trees of many nets.
+
+    Node arrays are concatenated across trees; ``node_net`` maps each node
+    back to its net.  ``order_by_depth`` groups node indices by tree depth
+    so bottom-up/top-down dynamic-programming passes can be executed as a
+    short sequence of vectorised scatter/gather steps (one per depth level),
+    mirroring the paper's GPU kernel structure.
+    """
+
+    def __init__(self, trees: Sequence[Optional[RoutingTree]], n_pins_total: int) -> None:
+        self.trees = list(trees)
+        self.n_pins_total = n_pins_total
+
+        offsets = []
+        total = 0
+        for tree in self.trees:
+            offsets.append(total)
+            if tree is not None:
+                total += tree.n_nodes
+        self.node_offset = np.array(offsets + [total], dtype=np.int64)
+        self.n_nodes = total
+
+        self.parent = np.full(total, -1, dtype=np.int64)
+        self.node_net = np.full(total, -1, dtype=np.int64)
+        self.node_pin = np.full(total, -1, dtype=np.int64)
+        self.owner_x_pin = np.full(total, -1, dtype=np.int64)
+        self.owner_y_pin = np.full(total, -1, dtype=np.int64)
+        self.is_root = np.zeros(total, dtype=bool)
+        depth = np.full(total, 0, dtype=np.int64)
+
+        for ni, tree in enumerate(self.trees):
+            if tree is None:
+                continue
+            base = self.node_offset[ni]
+            n = tree.n_nodes
+            sl = slice(base, base + n)
+            parent = tree.parent.copy()
+            has_parent = parent >= 0
+            parent[has_parent] += base
+            self.parent[sl] = parent
+            self.node_net[sl] = ni
+            self.node_pin[sl] = tree.pins
+            self.owner_x_pin[sl] = tree.pins[tree.owner_x]
+            self.owner_y_pin[sl] = tree.pins[tree.owner_y]
+            self.is_root[base + tree.root] = True
+            depth[sl] = tree.depths()
+
+        self.depth = depth
+        self.max_depth = int(depth.max()) if total else 0
+        # Node indices grouped by depth: levels[d] = nodes at depth d.
+        self.levels: List[np.ndarray] = [
+            np.nonzero(depth == d)[0] for d in range(self.max_depth + 1)
+        ]
+        self.has_parent = self.parent >= 0
+        # Map: for each global pin that appears in some tree, its node index.
+        self.pin_node = np.full(n_pins_total, -1, dtype=np.int64)
+        pin_mask = self.node_pin >= 0
+        self.pin_node[self.node_pin[pin_mask]] = np.nonzero(pin_mask)[0]
+        self.is_steiner = ~pin_mask
+
+    def node_coords(
+        self, pin_x: np.ndarray, pin_y: np.ndarray
+    ) -> tuple:
+        """Node coordinates given current global pin coordinates.
+
+        Pin nodes sit at their pin; Steiner nodes copy x/y from their owner
+        pins (the Figure 4 update rule used during tree reuse).
+        """
+        x = pin_x[self.owner_x_pin]
+        y = pin_y[self.owner_y_pin]
+        return x, y
+
+    def scatter_coord_grad(
+        self, grad_node_x: np.ndarray, grad_node_y: np.ndarray
+    ) -> tuple:
+        """Accumulate node-coordinate gradients onto global pins.
+
+        Steiner-node gradients go to the owning pins (Figure 4); pin-node
+        gradients go to the pins themselves.
+        """
+        grad_pin_x = np.zeros(self.n_pins_total)
+        grad_pin_y = np.zeros(self.n_pins_total)
+        np.add.at(grad_pin_x, self.owner_x_pin, grad_node_x)
+        np.add.at(grad_pin_y, self.owner_y_pin, grad_node_y)
+        return grad_pin_x, grad_pin_y
+
+    def edge_lengths(self, node_x: np.ndarray, node_y: np.ndarray) -> np.ndarray:
+        """Rectilinear edge length to parent per node (0 for roots)."""
+        lengths = np.zeros(self.n_nodes)
+        hp = self.has_parent
+        p = self.parent[hp]
+        lengths[hp] = np.abs(node_x[hp] - node_x[p]) + np.abs(node_y[hp] - node_y[p])
+        return lengths
+
+    def total_wirelength(self, pin_x: np.ndarray, pin_y: np.ndarray) -> float:
+        """Total Steiner wirelength over all routed nets."""
+        x, y = self.node_coords(pin_x, pin_y)
+        return float(self.edge_lengths(x, y).sum())

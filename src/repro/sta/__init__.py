@@ -1,0 +1,40 @@
+"""Golden static timing analysis: graph, Elmore, NLDM, analysis, paths."""
+
+from .nldm import LutBank
+from .graph import LevelizedArcs, TimingGraph
+from .elmore import ElmoreResult, elmore_forward, node_caps
+from .analysis import STAResult, StaticTimingAnalyzer, run_sta
+from .paths import TimingPath, extract_path, format_path, worst_paths
+from .incremental import IncrementalTimer
+from .clock import ClockArrival, propagate_clock
+from .reports import (
+    SlackHistogram,
+    format_histogram,
+    histogram_compression,
+    report_design,
+    slack_histogram,
+)
+
+__all__ = [
+    "LutBank",
+    "LevelizedArcs",
+    "TimingGraph",
+    "ElmoreResult",
+    "elmore_forward",
+    "node_caps",
+    "STAResult",
+    "StaticTimingAnalyzer",
+    "run_sta",
+    "TimingPath",
+    "extract_path",
+    "format_path",
+    "worst_paths",
+    "IncrementalTimer",
+    "ClockArrival",
+    "propagate_clock",
+    "SlackHistogram",
+    "format_histogram",
+    "histogram_compression",
+    "report_design",
+    "slack_histogram",
+]

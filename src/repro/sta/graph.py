@@ -1,0 +1,268 @@
+"""Timing-graph construction and levelisation.
+
+Builds the pin-level DAG of STA (Figure 1 of the paper): net arcs from each
+net's driver to its sinks, and cell arcs from cell input pins to output
+pins, expanded into per-transition *contributions* according to arc
+unateness.  Pins are assigned logical levels by a longest-path topological
+sort - done once, since levels do not depend on pin locations (step (1) of
+the paper's Section 3.3) - and all arc tables are sorted by the level of
+their sink so that both timers can sweep level by level with vectorised
+kernels.
+
+Clock nets are not propagation arcs (ideal clock): flip-flop CK pins are
+start points with arrival time zero, and the CK->Q arc launches paths.
+Setup checks at FF D pins and output ports are the timing endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.design import Design, PORT_IN_TYPE, PORT_OUT_TYPE
+from ..netlist.library import ArcKind, FALL, RISE
+from .nldm import LutBank
+
+__all__ = ["TimingGraph", "LevelizedArcs"]
+
+
+@dataclass
+class LevelizedArcs:
+    """Arc arrays sorted by sink-pin level with per-level offsets.
+
+    ``offsets[l] : offsets[l + 1]`` slices out the arcs whose sink pin sits
+    at level ``l``.
+    """
+
+    offsets: np.ndarray
+
+    def level_slice(self, level: int) -> slice:
+        return slice(self.offsets[level], self.offsets[level + 1])
+
+
+def _sort_by_level(level_of: np.ndarray, n_levels: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable-sort arc indices by level; returns (order, offsets)."""
+    order = np.argsort(level_of, kind="stable")
+    counts = np.bincount(level_of, minlength=n_levels)
+    offsets = np.zeros(n_levels + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return order, offsets
+
+
+class TimingGraph:
+    """The static structure shared by the golden and differentiable timers."""
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        n_pins = design.n_pins
+        lutbank = LutBank()
+
+        # ------------------------------------------------------------------
+        # Net arcs: driver -> sink for every routed (non-clock) net.
+        # ------------------------------------------------------------------
+        net_sink: List[int] = []
+        net_src: List[int] = []
+        net_of_sink: List[int] = []
+        self.timing_nets: List[int] = []
+        for ni in range(design.n_nets):
+            driver = design.net_driver[ni]
+            if driver < 0 or design.net_is_clock[ni] or design.net_degree(ni) < 2:
+                continue
+            self.timing_nets.append(ni)
+            for p in design.net_pins(ni):
+                if p != driver:
+                    net_sink.append(int(p))
+                    net_src.append(int(driver))
+                    net_of_sink.append(ni)
+        net_sink_arr = np.array(net_sink, dtype=np.int64)
+        net_src_arr = np.array(net_src, dtype=np.int64)
+        net_of_sink_arr = np.array(net_of_sink, dtype=np.int64)
+
+        # ------------------------------------------------------------------
+        # Cell arcs expanded into per-transition contributions.
+        # ------------------------------------------------------------------
+        c_src: List[int] = []
+        c_dst: List[int] = []
+        c_tin: List[int] = []
+        c_tout: List[int] = []
+        c_lut_delay: List[int] = []
+        c_lut_slew: List[int] = []
+        setup_d: List[int] = []
+        setup_ck: List[int] = []
+        setup_lut: List[Tuple[int, int]] = []
+        hold_d: List[int] = []
+        hold_ck: List[int] = []
+        hold_lut: List[Tuple[int, int]] = []
+
+        pin_lookup = {}
+        for p in range(n_pins):
+            cell = design.pin2cell[p]
+            pin_lookup[(int(cell), design.pin_name[p].rsplit("/", 1)[1])] = p
+
+        for ci in range(design.n_cells):
+            ctype = design.cell_type_of(ci)
+            for arc in ctype.arcs:
+                src = pin_lookup.get((ci, arc.from_pin))
+                dst = pin_lookup.get((ci, arc.to_pin))
+                if src is None or dst is None:
+                    continue
+                if arc.kind.is_delay_arc:
+                    for t_out in (RISE, FALL):
+                        lut_d = lutbank.register(arc.delay_lut(t_out))
+                        lut_s = lutbank.register(arc.transition_lut(t_out))
+                        for t_in in arc.unateness.transition_sources(t_out):
+                            c_src.append(src)
+                            c_dst.append(dst)
+                            c_tin.append(t_in)
+                            c_tout.append(t_out)
+                            c_lut_delay.append(lut_d)
+                            c_lut_slew.append(lut_s)
+                elif arc.kind is ArcKind.SETUP:
+                    setup_d.append(dst)
+                    setup_ck.append(src)
+                    setup_lut.append(
+                        (
+                            lutbank.register(arc.constraint_lut(RISE)),
+                            lutbank.register(arc.constraint_lut(FALL)),
+                        )
+                    )
+                elif arc.kind is ArcKind.HOLD:
+                    hold_d.append(dst)
+                    hold_ck.append(src)
+                    hold_lut.append(
+                        (
+                            lutbank.register(arc.constraint_lut(RISE)),
+                            lutbank.register(arc.constraint_lut(FALL)),
+                        )
+                    )
+
+        c_src_arr = np.array(c_src, dtype=np.int64)
+        c_dst_arr = np.array(c_dst, dtype=np.int64)
+
+        # ------------------------------------------------------------------
+        # Levelisation: longest-path levels over the propagation DAG.
+        # ------------------------------------------------------------------
+        edges_src = np.concatenate([net_src_arr, c_src_arr])
+        edges_dst = np.concatenate([net_sink_arr, c_dst_arr])
+        # Deduplicate parallel edges (a non-unate arc contributes 4 tuples).
+        if len(edges_src):
+            pairs = np.unique(np.stack([edges_src, edges_dst], axis=1), axis=0)
+            edges_src, edges_dst = pairs[:, 0], pairs[:, 1]
+        level = np.zeros(n_pins, dtype=np.int64)
+        indegree = np.bincount(edges_dst, minlength=n_pins)
+        # Kahn's algorithm with per-wave vectorised updates.
+        frontier = np.nonzero(indegree == 0)[0]
+        remaining = indegree.copy()
+        order_dst = np.argsort(edges_src, kind="stable") if len(edges_src) else None
+        src_sorted = edges_src[order_dst] if order_dst is not None else edges_src
+        dst_sorted = edges_dst[order_dst] if order_dst is not None else edges_dst
+        out_start = np.zeros(n_pins + 1, dtype=np.int64)
+        if len(src_sorted):
+            np.cumsum(np.bincount(src_sorted, minlength=n_pins), out=out_start[1:])
+        visited = 0
+        while len(frontier):
+            visited += len(frontier)
+            next_set: List[int] = []
+            for u in frontier:
+                for k in range(out_start[u], out_start[u + 1]):
+                    v = dst_sorted[k]
+                    level[v] = max(level[v], level[u] + 1)
+                    remaining[v] -= 1
+                    if remaining[v] == 0:
+                        next_set.append(v)
+            frontier = np.array(next_set, dtype=np.int64)
+        if visited != n_pins:
+            raise ValueError(
+                "timing graph has a combinational cycle "
+                f"({n_pins - visited} pins unreachable)"
+            )
+        self.level = level
+        self.n_levels = int(level.max()) + 1 if n_pins else 1
+
+        # Start points: pins with no incoming propagation arc.
+        self.start_pins = np.nonzero(indegree == 0)[0]
+
+        # ------------------------------------------------------------------
+        # Sort arc tables by sink level.
+        # ------------------------------------------------------------------
+        order, offsets = _sort_by_level(level[net_sink_arr], self.n_levels)
+        self.net_sink = net_sink_arr[order]
+        self.net_src = net_src_arr[order]
+        self.net_of_sink = net_of_sink_arr[order]
+        self.net_arcs = LevelizedArcs(offsets)
+
+        order, offsets = _sort_by_level(level[c_dst_arr], self.n_levels)
+        self.c_src = c_src_arr[order]
+        self.c_dst = c_dst_arr[order]
+        self.c_tin = np.array(c_tin, dtype=np.int64)[order]
+        self.c_tout = np.array(c_tout, dtype=np.int64)[order]
+        self.c_lut_delay = np.array(c_lut_delay, dtype=np.int64)[order]
+        self.c_lut_slew = np.array(c_lut_slew, dtype=np.int64)[order]
+        self.cell_arcs = LevelizedArcs(offsets)
+
+        # ------------------------------------------------------------------
+        # Checks and endpoints.
+        # ------------------------------------------------------------------
+        self.setup_d = np.array(setup_d, dtype=np.int64)
+        self.setup_ck = np.array(setup_ck, dtype=np.int64)
+        self.setup_lut = np.array(setup_lut, dtype=np.int64).reshape(-1, 2)
+        self.hold_d = np.array(hold_d, dtype=np.int64)
+        self.hold_ck = np.array(hold_ck, dtype=np.int64)
+        self.hold_lut = np.array(hold_lut, dtype=np.int64).reshape(-1, 2)
+
+        po_pins = []
+        po_ports = []
+        for p in range(n_pins):
+            ci = design.pin2cell[p]
+            if design.cell_types[design.cell_type[ci]].name == PORT_OUT_TYPE:
+                po_pins.append(p)
+                po_ports.append(design.cell_name[ci])
+        self.po_pins = np.array(po_pins, dtype=np.int64)
+        self.po_output_delay = np.array(
+            [design.constraints.output_delay(name) for name in po_ports]
+        )
+        self.po_extra_load = np.array(
+            [design.constraints.output_load(name) for name in po_ports]
+        )
+
+        #: Endpoint pins = FF D pins with setup checks, then PO pins.
+        self.endpoint_pins = np.concatenate([self.setup_d, self.po_pins])
+        self.n_endpoints = len(self.endpoint_pins)
+
+        # Extra pin capacitance (SDC set_load on output ports).
+        self.extra_pin_cap = np.zeros(n_pins)
+        self.extra_pin_cap[self.po_pins] = self.po_extra_load
+
+        # Start-point boundary conditions.
+        self.start_at = np.zeros((n_pins, 2))
+        self.start_slew = np.full(
+            (n_pins, 2), design.library.default_input_slew
+        )
+        for p in self.start_pins:
+            ci = design.pin2cell[p]
+            if design.cell_types[design.cell_type[ci]].name == PORT_IN_TYPE:
+                port = design.cell_name[ci]
+                if port != design.constraints.clock_port:
+                    self.start_at[p, :] = design.constraints.input_delay(port)
+                    self.start_slew[p, :] = design.constraints.input_slew(port)
+
+        #: Constant clock slew seen by constraint LUTs (ideal clock).
+        self.clock_slew = design.library.default_input_slew
+
+        lutbank.finalize()
+        self.lutbank = lutbank
+
+    # ------------------------------------------------------------------
+    def fanin_contributions(self, pin: int) -> np.ndarray:
+        """Indices of cell-arc contributions whose sink is ``pin``."""
+        return np.nonzero(self.c_dst == pin)[0]
+
+    def describe(self) -> str:
+        """One-line structural summary (useful in logs and tests)."""
+        return (
+            f"TimingGraph(levels={self.n_levels}, "
+            f"net_arcs={len(self.net_sink)}, cell_contribs={len(self.c_dst)}, "
+            f"endpoints={self.n_endpoints}, luts={len(self.lutbank)})"
+        )

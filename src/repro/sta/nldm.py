@@ -1,0 +1,146 @@
+"""Batched NLDM lookup-table kernels.
+
+A :class:`LutBank` packs many :class:`~repro.netlist.lut.LUT` objects into
+padded arrays so that a heterogeneous batch of queries (each query naming
+its own table) is answered with a handful of vectorised NumPy operations.
+Both the golden STA and the differentiable timer use the same bank; the
+gradient path (``lookup_with_grad``) implements the LUT-interpolation
+derivative of Figure 6 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..netlist.lut import LUT
+
+__all__ = ["LutBank"]
+
+
+def _pad_axis(axis: np.ndarray) -> np.ndarray:
+    """Ensure an index axis has length >= 2 (constants become flat ramps)."""
+    if len(axis) >= 2:
+        return axis
+    return np.array([axis[0], axis[0] + 1.0])
+
+
+class LutBank:
+    """A registry of LUTs with batched bilinear lookup.
+
+    Use :meth:`register` to intern a LUT and obtain its integer id, then
+    :meth:`finalize` once before the first lookup.  Lookups take an array of
+    ids and broadcastable query arrays.
+    """
+
+    def __init__(self) -> None:
+        self._luts: List[LUT] = []
+        self._by_identity: Dict[int, int] = {}
+        self._finalized = False
+        self.x: np.ndarray
+        self.y: np.ndarray
+        self.values: np.ndarray
+        self.x_len: np.ndarray
+        self.y_len: np.ndarray
+
+    def register(self, lut: LUT) -> int:
+        """Intern a LUT (deduplicated by object identity); returns its id."""
+        if self._finalized:
+            raise RuntimeError("LutBank already finalized")
+        key = id(lut)
+        if key in self._by_identity:
+            return self._by_identity[key]
+        index = len(self._luts)
+        self._luts.append(lut)
+        self._by_identity[key] = index
+        return index
+
+    def __len__(self) -> int:
+        return len(self._luts)
+
+    def finalize(self) -> None:
+        """Pack all registered LUTs into padded batch arrays."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if not self._luts:
+            self.x = np.zeros((0, 2))
+            self.y = np.zeros((0, 2))
+            self.values = np.zeros((0, 2, 2))
+            self.x_len = np.zeros(0, dtype=np.int64)
+            self.y_len = np.zeros(0, dtype=np.int64)
+            return
+        xs = [_pad_axis(lut.x) for lut in self._luts]
+        ys = [_pad_axis(lut.y) for lut in self._luts]
+        nx = max(len(a) for a in xs)
+        ny = max(len(a) for a in ys)
+        k = len(self._luts)
+        self.x = np.full((k, nx), np.inf)
+        self.y = np.full((k, ny), np.inf)
+        self.values = np.zeros((k, nx, ny))
+        self.x_len = np.zeros(k, dtype=np.int64)
+        self.y_len = np.zeros(k, dtype=np.int64)
+        for i, (lut, ax, ay) in enumerate(zip(self._luts, xs, ys)):
+            self.x_len[i] = len(ax)
+            self.y_len[i] = len(ay)
+            self.x[i, : len(ax)] = ax
+            self.y[i, : len(ay)] = ay
+            v = lut.values
+            # Duplicate rows/columns for axes that were padded from length 1.
+            if v.shape[0] == 1 and len(ax) == 2:
+                v = np.vstack([v, v])
+            if v.shape[1] == 1 and len(ay) == 2:
+                v = np.hstack([v, v])
+            self.values[i, : v.shape[0], : v.shape[1]] = v
+
+    def lookup_with_grad(
+        self, ids: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched bilinear lookup; returns ``(value, dv/dx, dv/dy)``.
+
+        ``ids`` selects the table per query; ``x``/``y`` are the query
+        coordinates.  Out-of-range queries extrapolate linearly from the
+        boundary cell, matching :meth:`LUT.lookup_with_grad`.
+        """
+        if not self._finalized:
+            self.finalize()
+        ids = np.asarray(ids, dtype=np.int64)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        ids, x, y = np.broadcast_arrays(ids, x, y)
+        shape = ids.shape
+        ids, x, y = ids.ravel(), x.ravel(), y.ravel()
+
+        ax = self.x[ids]  # (Q, nx), padded with +inf
+        ay = self.y[ids]
+        i = np.clip(
+            np.sum(ax <= x[:, None], axis=1) - 1, 0, self.x_len[ids] - 2
+        )
+        j = np.clip(
+            np.sum(ay <= y[:, None], axis=1) - 1, 0, self.y_len[ids] - 2
+        )
+        q = np.arange(len(ids))
+        x0 = ax[q, i]
+        x1 = ax[q, i + 1]
+        y0 = ay[q, j]
+        y1 = ay[q, j + 1]
+        v = self.values[ids]
+        q00 = v[q, i, j]
+        q01 = v[q, i, j + 1]
+        q10 = v[q, i + 1, j]
+        q11 = v[q, i + 1, j + 1]
+        tx = (x - x0) / (x1 - x0)
+        ty = (y - y0) / (y1 - y0)
+        v0 = q00 + ty * (q01 - q00)
+        v1 = q10 + ty * (q11 - q10)
+        val = v0 + tx * (v1 - v0)
+        dvx = (v1 - v0) / (x1 - x0)
+        d0 = (q01 - q00) / (y1 - y0)
+        d1 = (q11 - q10) / (y1 - y0)
+        dvy = d0 + tx * (d1 - d0)
+        return val.reshape(shape), dvx.reshape(shape), dvy.reshape(shape)
+
+    def lookup(self, ids: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Batched bilinear lookup (values only)."""
+        return self.lookup_with_grad(ids, x, y)[0]

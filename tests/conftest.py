@@ -1,0 +1,63 @@
+"""Shared fixtures: small deterministic designs and libraries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    Constraints,
+    DesignBuilder,
+    GeneratorSpec,
+    default_library,
+    generate_design,
+    make_chain_design,
+)
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The default synthetic standard-cell library."""
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def chain_design():
+    """A 4-stage inverter chain with a flip-flop endpoint."""
+    return make_chain_design(4)
+
+
+@pytest.fixture(scope="session")
+def small_design():
+    """A ~200-cell generated design (sequential, multi-level)."""
+    return generate_design(GeneratorSpec(name="small", n_cells=150, depth=6, seed=7))
+
+
+@pytest.fixture(scope="session")
+def medium_design():
+    """A ~500-cell generated design for integration tests."""
+    return generate_design(GeneratorSpec(name="medium", n_cells=400, depth=10, seed=11))
+
+
+@pytest.fixture()
+def tiny_builder(library):
+    """A fresh builder with one input, one output and a clock."""
+    constraints = Constraints(clock_period=300.0, clock_port="clk")
+    builder = DesignBuilder(
+        "tiny", library, die=(0.0, 0.0, 40.0, 20.0), constraints=constraints
+    )
+    builder.add_input("clk", x=0.0, y=0.0)
+    builder.add_input("a", x=0.0, y=10.0)
+    builder.add_output("z", x=40.0, y=10.0)
+    return builder
+
+
+@pytest.fixture(scope="session")
+def spread_positions(small_design):
+    """Deterministic non-degenerate positions for the small design."""
+    rng = np.random.default_rng(42)
+    x = small_design.cell_x + rng.normal(0, 6, small_design.n_cells)
+    y = small_design.cell_y + rng.normal(0, 6, small_design.n_cells)
+    x[small_design.cell_fixed] = small_design.cell_x[small_design.cell_fixed]
+    y[small_design.cell_fixed] = small_design.cell_y[small_design.cell_fixed]
+    return x, y

@@ -1,0 +1,102 @@
+"""Unit tests for Bookshelf placement-format I/O."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    load_placement,
+    read_bookshelf,
+    save_placement,
+    write_bookshelf,
+)
+
+
+@pytest.fixture()
+def exported(tmp_path, small_design):
+    aux = write_bookshelf(small_design, str(tmp_path), name="exp")
+    return aux, small_design
+
+
+class TestExport:
+    def test_all_files_written(self, exported, tmp_path):
+        aux, design = exported
+        for ext in ("aux", "nodes", "nets", "pl", "scl"):
+            assert os.path.exists(os.path.join(str(tmp_path), f"exp.{ext}"))
+
+    def test_read_back_counts(self, exported):
+        aux, design = exported
+        data = read_bookshelf(aux)
+        assert data.num_nodes == design.n_cells
+        assert data.num_nets == design.n_nets
+        assert data.num_pins == design.n_pins
+
+    def test_terminals_marked(self, exported):
+        aux, design = exported
+        data = read_bookshelf(aux)
+        n_terminals = sum(data.node_terminal)
+        assert n_terminals == int(np.count_nonzero(design.cell_fixed))
+
+    def test_geometry_preserved(self, exported):
+        aux, design = exported
+        data = read_bookshelf(aux)
+        index = {n: i for i, n in enumerate(data.node_name)}
+        for i in range(design.n_cells):
+            j = index[design.cell_name[i]]
+            assert data.node_width[j] == pytest.approx(design.cell_w[i])
+            assert data.node_height[j] == pytest.approx(design.cell_h[i])
+
+    def test_positions_roundtrip_via_pl(self, exported):
+        aux, design = exported
+        data = read_bookshelf(aux)
+        index = {n: i for i, n in enumerate(data.node_name)}
+        for i in range(design.n_cells):
+            j = index[design.cell_name[i]]
+            # Bookshelf stores lower-left corners.
+            assert data.node_x[j] == pytest.approx(
+                design.cell_x[i] - 0.5 * design.cell_w[i], abs=1e-5
+            )
+
+    def test_net_pin_offsets_preserved(self, exported):
+        aux, design = exported
+        data = read_bookshelf(aux)
+        total = 0
+        for pins in data.net_pins:
+            total += len(pins)
+            for node, direction, xoff, yoff in pins:
+                assert direction in ("I", "O")
+        assert total == design.n_pins
+
+    def test_scl_rows(self, exported):
+        aux, design = exported
+        data = read_bookshelf(aux)
+        xl, yl, xh, yh = design.die
+        assert len(data.rows) == int((yh - yl) / design.row_height)
+        assert data.rows[0].height == pytest.approx(design.row_height)
+
+
+class TestPlacementRoundTrip:
+    def test_save_load_identity(self, tmp_path, small_design):
+        rng = np.random.default_rng(0)
+        x = small_design.cell_x + rng.normal(0, 2, small_design.n_cells)
+        y = small_design.cell_y + rng.normal(0, 2, small_design.n_cells)
+        path = str(tmp_path / "place.pl")
+        save_placement(small_design, x, y, path)
+        x2, y2 = load_placement(small_design, path)
+        np.testing.assert_allclose(x2, x, atol=1e-5)
+        np.testing.assert_allclose(y2, y, atol=1e-5)
+
+    def test_load_ignores_unknown_nodes(self, tmp_path, small_design):
+        path = str(tmp_path / "p.pl")
+        with open(path, "w") as fh:
+            fh.write("UCLA pl 1.0\nghost_cell 1.0 2.0 : N\n")
+        x, y = load_placement(small_design, path)
+        np.testing.assert_allclose(x, small_design.cell_x)
+
+    def test_malformed_aux_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.aux")
+        with open(path, "w") as fh:
+            fh.write("no colon here\n")
+        with pytest.raises(ValueError):
+            read_bookshelf(path)

@@ -1,0 +1,148 @@
+"""Tests for netlist editing and timing-driven buffer insertion."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import clone_design, insert_buffer
+from repro.place import (
+    BufferingOptions,
+    GlobalPlacer,
+    PlacerOptions,
+    TimingDrivenBufferizer,
+    legalize,
+)
+from repro.sta import run_sta
+
+
+class TestCloneDesign:
+    def test_identical_structure(self, small_design):
+        clone = clone_design(small_design)
+        assert clone.n_cells == small_design.n_cells
+        assert clone.n_nets == small_design.n_nets
+        assert clone.n_pins == small_design.n_pins
+        assert clone.cell_name == small_design.cell_name
+        assert clone.net_name == small_design.net_name
+        np.testing.assert_allclose(clone.cell_x, small_design.cell_x)
+        np.testing.assert_array_equal(clone.net2pin, small_design.net2pin)
+
+    def test_identical_timing(self, small_design, spread_positions):
+        x, y = spread_positions
+        clone = clone_design(small_design)
+        r1 = run_sta(small_design, x, y)
+        r2 = run_sta(clone, x, y)
+        assert r2.wns_setup == pytest.approx(r1.wns_setup)
+        assert r2.tns_setup == pytest.approx(r1.tns_setup)
+
+    def test_clone_is_independent(self, small_design):
+        clone = clone_design(small_design)
+        clone.cell_x[0] += 5.0
+        assert clone.cell_x[0] != small_design.cell_x[0]
+
+
+class TestInsertBuffer:
+    def _fanout_net(self, design, min_sinks=3):
+        for ni in range(design.n_nets):
+            if design.net_is_clock[ni]:
+                continue
+            if design.net_degree(ni) >= min_sinks + 1:
+                return ni
+        pytest.skip("no suitable fanout net")
+
+    def test_structure_after_insertion(self, small_design):
+        d = small_design
+        ni = self._fanout_net(d)
+        driver = int(d.net_driver[ni])
+        sinks = [int(p) for p in d.net_pins(ni) if p != driver]
+        moved = sinks[:2]
+        edited = insert_buffer(d, ni, moved, (10.0, 10.0), name="tb0")
+        assert edited.n_cells == d.n_cells + 1
+        assert edited.n_nets == d.n_nets + 1
+        assert edited.n_pins == d.n_pins + 2
+        # Original net lost the moved sinks, gained the buffer input.
+        ni2 = edited.net_index(d.net_name[ni])
+        assert edited.net_degree(ni2) == d.net_degree(ni) - len(moved) + 1
+        # New net: buffer output + moved sinks.
+        nb = edited.net_index(f"{d.net_name[ni]}_buf")
+        assert edited.net_degree(nb) == len(moved) + 1
+
+    def test_timing_still_analyzable(self, small_design, spread_positions):
+        x, y = spread_positions
+        d = small_design
+        ni = self._fanout_net(d)
+        driver = int(d.net_driver[ni])
+        sinks = [int(p) for p in d.net_pins(ni) if p != driver]
+        edited = insert_buffer(d, ni, sinks[:2], (15.0, 15.0))
+        result = run_sta(edited)
+        assert np.isfinite(result.wns_setup)
+
+    def test_clock_net_refused(self, small_design):
+        clk = int(np.nonzero(small_design.net_is_clock)[0][0])
+        pins = small_design.net_pins(clk)
+        driver = int(small_design.net_driver[clk])
+        sinks = [int(p) for p in pins if p != driver]
+        with pytest.raises(ValueError, match="clock"):
+            insert_buffer(small_design, clk, sinks[:1], (0.0, 0.0))
+
+    def test_empty_subset_refused(self, small_design):
+        ni = self._fanout_net(small_design)
+        with pytest.raises(ValueError, match="no sinks"):
+            insert_buffer(small_design, ni, [], (0.0, 0.0))
+
+    def test_foreign_pin_refused(self, small_design):
+        ni = self._fanout_net(small_design)
+        driver = int(small_design.net_driver[ni])
+        with pytest.raises(ValueError, match="moved sinks"):
+            insert_buffer(small_design, ni, [driver], (0.0, 0.0))
+
+    def test_repeater_on_two_pin_net(self, chain_design):
+        d = chain_design
+        ni = d.net_index("n1")
+        driver = int(d.net_driver[ni])
+        sink = [int(p) for p in d.net_pins(ni) if p != driver]
+        edited = insert_buffer(d, ni, sink, (30.0, 10.0))
+        assert edited.n_cells == d.n_cells + 1
+        result = run_sta(edited)
+        assert np.isfinite(result.wns_setup)
+
+
+class TestBufferizer:
+    @pytest.fixture(scope="class")
+    def placed(self, medium_design):
+        res = GlobalPlacer(medium_design, PlacerOptions(max_iters=400)).run()
+        return legalize(medium_design, res.x, res.y)
+
+    def test_never_degrades_score(self, medium_design, placed):
+        lx, ly = placed
+        buf = TimingDrivenBufferizer(BufferingOptions(max_buffers=4)).run(
+            medium_design, lx, ly
+        )
+        score_before = buf.tns_before + 50.0 * buf.wns_before
+        score_after = buf.tns_after + 50.0 * buf.wns_after
+        assert score_after >= score_before - 1e-6
+
+    def test_accepted_buffers_verified_by_golden_sta(self, medium_design, placed):
+        lx, ly = placed
+        buf = TimingDrivenBufferizer(BufferingOptions(max_buffers=4)).run(
+            medium_design, lx, ly
+        )
+        check = run_sta(buf.design, buf.x, buf.y)
+        assert check.wns_setup == pytest.approx(buf.wns_after, abs=1e-6)
+        assert buf.design.n_cells == medium_design.n_cells + buf.n_inserted
+        for name in buf.inserted_names:
+            assert name in buf.design.cell_name
+
+    def test_input_design_untouched(self, medium_design, placed):
+        lx, ly = placed
+        n_before = medium_design.n_cells
+        TimingDrivenBufferizer(BufferingOptions(max_buffers=2)).run(
+            medium_design, lx, ly
+        )
+        assert medium_design.n_cells == n_before
+
+    def test_zero_budget_is_noop(self, medium_design, placed):
+        lx, ly = placed
+        buf = TimingDrivenBufferizer(BufferingOptions(max_buffers=0)).run(
+            medium_design, lx, ly
+        )
+        assert buf.n_inserted == 0
+        assert buf.wns_after == pytest.approx(buf.wns_before)

@@ -1,0 +1,101 @@
+"""Tests for the command-line interfaces."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.harness.__main__ import main as harness_main
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli_bundle"))
+    code = repro_main(
+        [
+            "generate",
+            "--cells", "150",
+            "--depth", "6",
+            "--seed", "3",
+            "--name", "clitest",
+            "--out", path,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_bundle_files_exist(self, bundle_dir):
+        for ext in ("v", "lib", "sdc", "def"):
+            assert os.path.exists(os.path.join(bundle_dir, f"clitest.{ext}"))
+        assert os.path.exists(os.path.join(bundle_dir, "design.json"))
+
+
+class TestSta:
+    def test_report_printed(self, bundle_dir, capsys):
+        code = repro_main(["sta", "--bundle", bundle_dir, "--hold"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Timing report" in out
+        assert "hold:" in out
+
+    def test_propagated_clock_flag(self, bundle_dir, capsys):
+        code = repro_main(
+            ["sta", "--bundle", bundle_dir, "--propagated-clock"]
+        )
+        assert code == 0
+        assert "clock skew" in capsys.readouterr().out
+
+    def test_paths_flag(self, bundle_dir, capsys):
+        code = repro_main(["sta", "--bundle", bundle_dir, "--paths", "2"])
+        assert code == 0
+        assert capsys.readouterr().out.count("Path to") == 2
+
+    def test_d2m_model(self, bundle_dir, capsys):
+        code = repro_main(
+            ["sta", "--bundle", bundle_dir, "--wire-model", "d2m"]
+        )
+        assert code == 0
+
+
+class TestPlace:
+    def test_place_writes_updated_bundle(self, bundle_dir, tmp_path, capsys):
+        out = str(tmp_path / "placed")
+        code = repro_main(
+            [
+                "place",
+                "--bundle", bundle_dir,
+                "--mode", "dreamplace",
+                "--max-iters", "150",
+                "--out", out,
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "legalized" in text
+        assert os.path.exists(os.path.join(out, "clitest.def"))
+
+    def test_invalid_mode_rejected(self, bundle_dir):
+        with pytest.raises(SystemExit):
+            repro_main(["place", "--bundle", bundle_dir, "--mode", "magic"])
+
+
+class TestHarnessCli:
+    def test_table2_only(self, capsys):
+        # Run with a single tiny design to keep this test fast.
+        code = harness_main(
+            ["--designs", "miniblue18", "--max-iters", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "miniblue18" in out
+        assert "Avg. Ratio" in out
+
+    def test_bench_forwarding(self, capsys):
+        code = repro_main(
+            ["bench", "--designs", "miniblue18", "--max-iters", "120"]
+        )
+        assert code == 0
+        assert "Table 3" in capsys.readouterr().out

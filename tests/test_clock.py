@@ -1,0 +1,115 @@
+"""Tests for propagated (non-ideal) clock analysis."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Constraints, DesignBuilder, make_chain_design
+from repro.sta import run_sta
+from repro.sta.clock import propagate_clock
+from repro.sta.graph import TimingGraph
+
+
+class TestClockPropagation:
+    def test_sinks_identified(self, small_design, spread_positions):
+        x, y = spread_positions
+        graph = TimingGraph(small_design)
+        ck = propagate_clock(small_design, graph, x, y)
+        n_ff = sum(
+            1
+            for c in range(small_design.n_cells)
+            if small_design.cell_type_of(c).is_sequential
+        )
+        assert int(ck.is_clock_sink.sum()) == n_ff
+
+    def test_nonzero_skew_when_ffs_spread(self, small_design, spread_positions):
+        x, y = spread_positions
+        graph = TimingGraph(small_design)
+        ck = propagate_clock(small_design, graph, x, y)
+        assert ck.skew > 0
+        assert (ck.at[ck.is_clock_sink] >= 0).all()
+
+    def test_insertion_grows_with_distance(self, library):
+        """An FF farther from the clock source sees a later clock edge."""
+        constraints = Constraints(clock_period=500.0, clock_port="clk")
+        b = DesignBuilder("two_ffs", library, die=(0, 0, 100, 20),
+                          constraints=constraints)
+        b.add_input("clk", x=0.0, y=10.0)
+        b.add_input("d", x=0.0, y=5.0)
+        b.add_output("q", x=100.0, y=5.0)
+        b.add_cell("near", "DFF_X1", x=10.0, y=10.0)
+        b.add_cell("far", "DFF_X1", x=90.0, y=10.0)
+        b.add_net("nd", ["d", "near/D"])
+        b.add_net("nm", ["near/Q", "far/D"])
+        b.add_net("nq", ["far/Q", "q"])
+        b.add_net("clknet", ["clk", "near/CK", "far/CK"])
+        design = b.build()
+        graph = TimingGraph(design)
+        ck = propagate_clock(design, graph)
+        near_ck = design.pin_name.index("near/CK")
+        far_ck = design.pin_name.index("far/CK")
+        assert ck.at[far_ck] > ck.at[near_ck] > 0
+        assert ck.slew[far_ck] > ck.slew[near_ck]
+
+    def test_clock_slew_at_least_source_slew(self, small_design, spread_positions):
+        x, y = spread_positions
+        graph = TimingGraph(small_design)
+        ck = propagate_clock(small_design, graph, x, y)
+        source = small_design.constraints.input_slew(
+            small_design.constraints.clock_port
+        )
+        assert (ck.slew[ck.is_clock_sink] >= source - 1e-9).all()
+
+
+class TestPropagatedClockSTA:
+    def test_ff_to_ff_paths_see_cancelling_skew(self, library):
+        """Launch and capture from the same CK pin: insertion cancels."""
+        d = make_chain_design(3)
+        ideal = run_sta(d)
+        # Place the clock port on top of the FF: zero insertion delay.
+        clk = d.cell_index("clk")
+        ff = d.cell_index("ff0")
+        x = d.cell_x.copy()
+        y = d.cell_y.copy()
+        x[clk], y[clk] = x[ff], y[ff]
+        prop = run_sta(d, x, y, propagated_clock=True)
+        ideal2 = run_sta(d, x, y)
+        assert prop.wns_setup == pytest.approx(ideal2.wns_setup, abs=1.0)
+
+    def test_useful_skew_helps_capture(self, small_design, spread_positions):
+        """Capture-side insertion delay adds slack to PI->FF paths."""
+        x, y = spread_positions
+        ideal = run_sta(small_design, x, y, compute_hold=True)
+        prop = run_sta(
+            small_design, x, y, compute_hold=True, propagated_clock=True
+        )
+        # Hold gets uniformly harder by the capture insertion delay.
+        assert prop.wns_hold <= ideal.wns_hold + 1e-9
+        # Results differ (the clock is really propagated).
+        assert prop.wns_setup != pytest.approx(ideal.wns_setup)
+        assert prop.clock is not None and prop.clock.skew > 0
+
+    def test_ideal_mode_unchanged_by_feature(self, small_design, spread_positions):
+        x, y = spread_positions
+        r1 = run_sta(small_design, x, y)
+        r2 = run_sta(small_design, x, y, propagated_clock=False)
+        assert r1.wns_setup == pytest.approx(r2.wns_setup)
+        assert r2.clock is None
+
+    def test_launch_arrival_includes_insertion(self, library):
+        constraints = Constraints(clock_period=1000.0, clock_port="clk")
+        b = DesignBuilder("launch", library, die=(0, 0, 120, 20),
+                          constraints=constraints)
+        b.add_input("clk", x=0.0, y=10.0)
+        b.add_output("q", x=120.0, y=10.0)
+        b.add_cell("ff", "DFF_X1", x=100.0, y=10.0)
+        b.add_input("d", x=0.0, y=5.0)
+        b.add_net("nd", ["d", "ff/D"])
+        b.add_net("nq", ["ff/Q", "q"])
+        b.add_net("clknet", ["clk", "ff/CK"])
+        design = b.build()
+        ideal = run_sta(design)
+        prop = run_sta(design, propagated_clock=True)
+        q_pin = design.pin_name.index("q/I")
+        # The FF sits 100 um from the clock source: its Q (and the output
+        # port) launch later by the insertion delay.
+        assert prop.at[q_pin].max() > ideal.at[q_pin].max() + 1.0

@@ -1,0 +1,115 @@
+"""Tests for net-criticality policies and RUDY congestion maps."""
+
+import numpy as np
+import pytest
+
+from repro.place import CRITICALITY_POLICIES, make_criticality, rudy_map
+from repro.place.netweight import MomentumNetWeighter, NetWeightOptions
+
+
+class TestCriticalityPolicies:
+    slacks = np.array([-100.0, -50.0, -1.0, 0.0, 25.0, 500.0])
+    wns = -100.0
+
+    @pytest.mark.parametrize("policy", sorted(CRITICALITY_POLICIES))
+    def test_nonnegative_and_zero_for_relaxed(self, policy):
+        fn = make_criticality(policy)
+        c = fn(self.slacks, self.wns)
+        assert (c >= 0).all()
+        assert c[-1] == pytest.approx(0.0)  # very relaxed net
+
+    def test_linear_matches_paper_form(self):
+        fn = make_criticality("linear")
+        c = fn(self.slacks, self.wns)
+        np.testing.assert_allclose(c[:3], [1.0, 0.5, 0.01])
+        assert c[3] == 0.0
+
+    def test_exponential_sharper_than_linear(self):
+        lin = make_criticality("linear")(self.slacks, self.wns)
+        exp = make_criticality("exponential")(self.slacks, self.wns)
+        # At the worst net exponential >= linear; near zero it is below.
+        assert exp[0] >= lin[0]
+        assert exp[2] < lin[2] * 3  # stays bounded
+
+    def test_exponential_exponent_kwarg(self):
+        e2 = make_criticality("exponential", exponent=2.0)(self.slacks, self.wns)
+        e4 = make_criticality("exponential", exponent=4.0)(self.slacks, self.wns)
+        assert e4[0] > e2[0]
+
+    def test_threshold_binary(self):
+        c = make_criticality("threshold")(self.slacks, self.wns)
+        assert set(np.unique(c)) <= {0.0, 1.0}
+        assert c[0] == 1.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="criticality"):
+            make_criticality("quantum")
+
+    def test_weighter_accepts_policy(self, small_design, spread_positions):
+        x, y = spread_positions
+        w = MomentumNetWeighter(
+            small_design,
+            NetWeightOptions(start_iteration=0, criticality="exponential"),
+        )
+        weights = w(0, x, y)
+        assert weights is not None
+        assert weights.max() > 1.0
+
+
+class TestRudy:
+    def test_shape_and_nonnegative(self, small_design, spread_positions):
+        x, y = spread_positions
+        cm = rudy_map(small_design, x, y, n_bins=16)
+        assert cm.density.shape == (16, 16)
+        assert (cm.density >= 0).all()
+        assert cm.peak >= cm.mean
+
+    def test_clustered_placement_more_congested(self, small_design):
+        d = small_design
+        xl, yl, xh, yh = d.die
+        x_tight = np.full(d.n_cells, 0.5 * (xl + xh))
+        y_tight = np.full(d.n_cells, 0.5 * (yl + yh))
+        rng = np.random.default_rng(0)
+        x_loose = rng.uniform(xl, xh, d.n_cells)
+        y_loose = rng.uniform(yl, yh, d.n_cells)
+        tight = rudy_map(d, x_tight, y_tight)
+        loose = rudy_map(d, x_loose, y_loose)
+        assert tight.peak > loose.peak
+
+    def test_overflow_fraction_monotone_in_capacity(self, small_design, spread_positions):
+        x, y = spread_positions
+        cm = rudy_map(small_design, x, y)
+        assert cm.overflow_fraction(0.0) >= cm.overflow_fraction(cm.peak / 2)
+        assert cm.overflow_fraction(cm.peak + 1) == 0.0
+
+    def test_single_net_density_integral(self, library):
+        """One net's deposited density integrates to ~its RUDY volume."""
+        from repro.netlist import DesignBuilder
+
+        b = DesignBuilder("one", library, die=(0, 0, 32, 32))
+        b.add_input("clk", x=0, y=0)
+        b.add_input("a", x=4.0, y=4.0)
+        b.add_cell("u1", "INV_X1", x=20.0, y=28.0)
+        b.add_net("n", ["a", "u1/A"])
+        d = b.build()
+        cm = rudy_map(d, n_bins=16)
+        px, py = d.pin_positions()
+        pins = d.net_pins(d.net_index("n"))
+        w = float(px[pins].max() - px[pins].min())
+        h = float(py[pins].max() - py[pins].min())
+        expected_volume = (w + h) / (w * h) * (w * h) / (cm.bin_w * cm.bin_h)
+        assert cm.density.sum() == pytest.approx(expected_volume, rel=1e-6)
+
+    def test_placers_report_comparable_congestion(self, medium_design):
+        """Timing-driven placement must not blow up congestion."""
+        from repro.core import TimingDrivenPlacer, TimingPlacerOptions
+        from repro.place import GlobalPlacer, PlacerOptions
+
+        popts = PlacerOptions(max_iters=450, seed=0)
+        base = GlobalPlacer(medium_design, popts).run()
+        ours = TimingDrivenPlacer(
+            medium_design, TimingPlacerOptions(placer=popts, sta_in_trace=False)
+        ).run()
+        cm_base = rudy_map(medium_design, base.x, base.y)
+        cm_ours = rudy_map(medium_design, ours.x, ours.y)
+        assert cm_ours.peak < 2.0 * cm_base.peak

@@ -1,0 +1,112 @@
+"""Unit tests for the DEF subset reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.def_io import (
+    DefError,
+    apply_def_placement,
+    parse_def,
+    read_def_file,
+    write_def,
+    write_def_file,
+)
+
+
+class TestWriteParse:
+    def test_roundtrip_positions(self, small_design, spread_positions):
+        x, y = spread_positions
+        text = write_def(small_design, x, y)
+        data = parse_def(text)
+        assert data.design == small_design.name
+        x2, y2 = apply_def_placement(small_design, data)
+        # DEF uses integer database units (1000/um): 0.5e-3 um rounding.
+        np.testing.assert_allclose(x2, x, atol=1e-3)
+        np.testing.assert_allclose(y2, y, atol=1e-3)
+
+    def test_die_area_roundtrip(self, small_design):
+        data = parse_def(write_def(small_design))
+        assert data.die == pytest.approx(small_design.die, abs=1e-3)
+
+    def test_component_count(self, small_design):
+        data = parse_def(write_def(small_design))
+        n_ports = int(small_design.cell_is_port.sum())
+        assert len(data.components) == small_design.n_cells - n_ports
+        assert len(data.pins) == n_ports
+
+    def test_fixed_flag_preserved(self, small_design):
+        data = parse_def(write_def(small_design))
+        for name, (_, _, _, fixed) in data.components.items():
+            ci = small_design.cell_index(name)
+            assert fixed == bool(small_design.cell_fixed[ci])
+
+    def test_cell_types_recorded(self, small_design):
+        data = parse_def(write_def(small_design))
+        for name, (ctype, _, _, _) in data.components.items():
+            ci = small_design.cell_index(name)
+            assert ctype == small_design.cell_type_of(ci).name
+
+    def test_rows_emitted(self, small_design):
+        data = parse_def(write_def(small_design))
+        xl, yl, xh, yh = small_design.die
+        assert len(data.rows) == int((yh - yl) / small_design.row_height)
+
+    def test_pin_directions(self, small_design):
+        data = parse_def(write_def(small_design))
+        directions = {d for _, _, d in data.pins.values()}
+        assert directions == {"INPUT", "OUTPUT"}
+
+    def test_file_roundtrip(self, tmp_path, small_design):
+        path = str(tmp_path / "d.def")
+        write_def_file(small_design, path)
+        data = read_def_file(path)
+        assert data.design == small_design.name
+
+
+class TestParserRobustness:
+    def test_comments_ignored(self):
+        text = (
+            "VERSION 5.8 ; # comment\n"
+            "DESIGN demo ;\n"
+            "UNITS DISTANCE MICRONS 2000 ;\n"
+            "DIEAREA ( 0 0 ) ( 20000 10000 ) ;\n"
+            "COMPONENTS 1 ;\n"
+            "- u1 INV_X1 + PLACED ( 2000 4000 ) N ;\n"
+            "END COMPONENTS\n"
+            "END DESIGN\n"
+        )
+        data = parse_def(text)
+        assert data.units == 2000
+        assert data.die == (0.0, 0.0, 10.0, 5.0)
+        assert data.components["u1"] == ("INV_X1", 1.0, 2.0, False)
+
+    def test_nets_section_skipped(self):
+        text = (
+            "DESIGN demo ;\n"
+            "UNITS DISTANCE MICRONS 1000 ;\n"
+            "NETS 1 ;\n"
+            "- n1 ( u1 A ) ( u2 Y ) ;\n"
+            "END NETS\n"
+            "COMPONENTS 1 ;\n"
+            "- u1 INV_X1 + FIXED ( 0 0 ) N ;\n"
+            "END COMPONENTS\n"
+            "END DESIGN\n"
+        )
+        data = parse_def(text)
+        assert data.components["u1"][3] is True
+
+    def test_malformed_components_rejected(self):
+        text = (
+            "DESIGN demo ;\n"
+            "COMPONENTS 1 ;\n"
+            "u1 INV_X1 + PLACED ( 0 0 ) N ;\n"
+            "END COMPONENTS\n"
+        )
+        with pytest.raises(DefError):
+            parse_def(text)
+
+    def test_apply_ignores_unknown_components(self, small_design):
+        data = parse_def(write_def(small_design))
+        data.components["ghost"] = ("INV_X1", 1.0, 1.0, False)
+        x, y = apply_def_placement(small_design, data)
+        assert len(x) == small_design.n_cells

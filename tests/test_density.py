@@ -1,0 +1,128 @@
+"""Unit tests for the electrostatic density model."""
+
+import numpy as np
+import pytest
+
+from repro.place import DensityModel
+
+
+class TestSplatting:
+    def test_total_mass_conserved(self, small_design, spread_positions):
+        x, y = spread_positions
+        model = DensityModel(small_design, n_bins=16)
+        rho, _ = model._splat(x, y)
+        assert rho.sum() == pytest.approx(model.movable_area_total, rel=1e-9)
+
+    def test_point_in_bin_center(self, small_design):
+        d = small_design
+        model = DensityModel(d, n_bins=16)
+        result = model.evaluate(d.cell_x, d.cell_y)
+        assert result.density.shape == (16, 16)
+        assert result.density.min() >= 0
+
+
+class TestPoisson:
+    def test_potential_satisfies_poisson_in_interior(self, small_design):
+        """lap(phi) ~ -(rho - mean) away from the boundary."""
+        d = small_design
+        rng = np.random.default_rng(1)
+        model = DensityModel(d, n_bins=32)
+        x = rng.uniform(d.die[0], d.die[2], d.n_cells)
+        y = rng.uniform(d.die[1], d.die[3], d.n_cells)
+        rho, _ = model._splat(x, y)
+        phi = model._solve_poisson(rho)
+        source = rho / model.bin_area
+        source = source - source.mean()
+        lap = (
+            (np.roll(phi, 1, 0) - 2 * phi + np.roll(phi, -1, 0)) / model.hx**2
+            + (np.roll(phi, 1, 1) - 2 * phi + np.roll(phi, -1, 1)) / model.hy**2
+        )
+        interior = (slice(2, -2), slice(2, -2))
+        resid = lap[interior] + source[interior]
+        scale = np.abs(source).max() + 1e-12
+        assert np.abs(resid).max() / scale < 0.05
+
+    def test_uniform_density_zero_field(self, small_design):
+        d = small_design
+        model = DensityModel(d, n_bins=16)
+        rho = np.full((16, 16), 3.0)
+        phi = model._solve_poisson(rho)
+        assert np.abs(phi).max() < 1e-9
+
+
+class TestGradients:
+    def test_force_points_away_from_cluster(self, small_design):
+        d = small_design
+        model = DensityModel(d, n_bins=16)
+        xl, yl, xh, yh = d.die
+        cx, cy = 0.5 * (xl + xh), 0.5 * (yl + yh)
+        x = np.full(d.n_cells, cx)
+        y = np.full(d.n_cells, cy)
+        # One probe cell to the right of the cluster.
+        movable = np.nonzero(~d.cell_fixed)[0]
+        probe = movable[0]
+        x[probe] = cx + 0.3 * (xh - cx)
+        res = model.evaluate(x, y)
+        # Energy gradient on the probe is negative along +x (moving right,
+        # away from the cluster, reduces the energy).
+        assert res.grad_x[probe] < 0
+
+    def test_fixed_cells_zero_gradient(self, small_design, spread_positions):
+        x, y = spread_positions
+        model = DensityModel(small_design, n_bins=16)
+        res = model.evaluate(x, y)
+        fixed = small_design.cell_fixed
+        assert np.abs(res.grad_x[fixed]).max() == 0.0
+        assert np.abs(res.grad_y[fixed]).max() == 0.0
+
+
+class TestOverflow:
+    def test_clustered_overflow_near_one(self, small_design):
+        d = small_design
+        model = DensityModel(d, n_bins=16)
+        xl, yl, xh, yh = d.die
+        x = np.full(d.n_cells, 0.5 * (xl + xh))
+        y = np.full(d.n_cells, 0.5 * (yl + yh))
+        res = model.evaluate(x, y)
+        assert res.overflow > 0.8
+
+    def test_uniform_spread_low_overflow(self, small_design):
+        d = small_design
+        rng = np.random.default_rng(3)
+        model = DensityModel(d, n_bins=16)
+        xl, yl, xh, yh = d.die
+        # A regular grid of positions approximates uniform density at the
+        # target utilisation (0.7 < 1), so overflow should be small.
+        n = d.n_cells
+        side = int(np.ceil(np.sqrt(n)))
+        gx, gy = np.meshgrid(np.linspace(xl + 1, xh - 1, side),
+                             np.linspace(yl + 1, yh - 1, side))
+        x = gx.ravel()[:n]
+        y = gy.ravel()[:n]
+        res = model.evaluate(x, y)
+        assert res.overflow < 0.25
+
+    def test_overflow_decreases_with_spreading(self, small_design):
+        d = small_design
+        rng = np.random.default_rng(4)
+        model = DensityModel(d, n_bins=16)
+        xl, yl, xh, yh = d.die
+        cx, cy = 0.5 * (xl + xh), 0.5 * (yl + yh)
+        tight = model.evaluate(
+            cx + rng.normal(0, 1, d.n_cells), cy + rng.normal(0, 1, d.n_cells)
+        )
+        loose = model.evaluate(
+            np.clip(cx + rng.normal(0, 20, d.n_cells), xl, xh),
+            np.clip(cy + rng.normal(0, 20, d.n_cells), yl, yh),
+        )
+        assert loose.overflow < tight.overflow
+
+
+class TestAutoBins:
+    def test_auto_bins_scale_with_cell_size(self, small_design, medium_design):
+        from repro.place.placer import _auto_bins
+
+        nb_small = _auto_bins(small_design)
+        nb_medium = _auto_bins(medium_design)
+        assert nb_small >= 8
+        assert nb_medium >= nb_small  # larger die, same cells -> more bins

@@ -1,0 +1,87 @@
+"""Tests for the timing-driven detailed placer."""
+
+import numpy as np
+import pytest
+
+from repro.place import (
+    DetailedPlacerOptions,
+    GlobalPlacer,
+    PlacerOptions,
+    TimingDrivenDetailedPlacer,
+    legalize,
+    max_overlap,
+)
+from repro.sta import run_sta
+
+
+@pytest.fixture(scope="module")
+def legal_placement(small_design):
+    gp = GlobalPlacer(small_design, PlacerOptions(max_iters=350)).run()
+    return legalize(small_design, gp.x, gp.y)
+
+
+@pytest.fixture(scope="module")
+def dp_result(small_design, legal_placement):
+    lx, ly = legal_placement
+    placer = TimingDrivenDetailedPlacer(
+        small_design, DetailedPlacerOptions(passes=1, n_critical_paths=4)
+    )
+    return placer.run(lx, ly)
+
+
+class TestDetailedPlacement:
+    def test_timing_never_degrades(self, dp_result):
+        assert dp_result.wns_after >= dp_result.wns_before - 1e-6
+        assert dp_result.tns_after >= dp_result.tns_before - 1e-6
+
+    def test_placement_stays_legal(self, small_design, dp_result):
+        assert max_overlap(small_design, dp_result.x, dp_result.y) < 1e-9
+
+    def test_cells_stay_in_rows(self, small_design, dp_result):
+        yl = small_design.die[1]
+        movable = ~small_design.cell_fixed
+        offsets = (
+            dp_result.y[movable] - yl
+        ) / small_design.row_height - 0.5
+        np.testing.assert_allclose(offsets, np.round(offsets), atol=1e-9)
+
+    def test_result_matches_golden_sta(self, small_design, dp_result):
+        ref = run_sta(small_design, dp_result.x, dp_result.y)
+        assert dp_result.wns_after == pytest.approx(ref.wns_setup, abs=1e-3)
+        assert dp_result.tns_after == pytest.approx(
+            ref.tns_setup, rel=1e-4, abs=1e-2
+        )
+
+    def test_trial_accounting(self, dp_result):
+        assert dp_result.n_trials >= dp_result.n_accepted >= 0
+
+    def test_fixed_cells_untouched(self, small_design, legal_placement, dp_result):
+        lx, ly = legal_placement
+        fixed = small_design.cell_fixed
+        np.testing.assert_allclose(dp_result.x[fixed], lx[fixed])
+        np.testing.assert_allclose(dp_result.y[fixed], ly[fixed])
+
+
+class TestGapFinding:
+    def test_row_gaps_fit_width(self, small_design, legal_placement):
+        lx, ly = legal_placement
+        placer = TimingDrivenDetailedPlacer(small_design)
+        placer.timer.reset(lx, ly)
+        gaps = placer._row_gaps(2.0)
+        assert len(gaps) > 0
+        xl, yl, xh, yh = small_design.die
+        for gx, gy in gaps:
+            assert xl <= gx - 1.0 and gx + 1.0 <= xh + 1e-9
+            frac = (gy - yl) / small_design.row_height - 0.5
+            assert frac == pytest.approx(round(frac), abs=1e-9)
+
+    def test_swap_candidates_have_equal_width(self, small_design, legal_placement):
+        lx, ly = legal_placement
+        placer = TimingDrivenDetailedPlacer(small_design)
+        placer.timer.reset(lx, ly)
+        movable = np.nonzero(~small_design.cell_fixed)[0]
+        ci = int(movable[0])
+        for cj in placer._swap_candidates(ci, movable):
+            assert small_design.cell_w[cj] == pytest.approx(
+                small_design.cell_w[ci]
+            )

@@ -1,0 +1,145 @@
+"""Validation of the differentiable timing engine (the paper's core).
+
+Three pillars:
+1. the forward pass converges to the golden STA as gamma shrinks;
+2. the backward pass matches central finite differences of the forward
+   pass exactly (the trees are held fixed, which is the quantity the
+   gradient models - Figure 4's reuse rule);
+3. the gradients point the right way on hand-analysable designs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DifferentiableTimer
+from repro.netlist import make_chain_design
+from repro.route import build_forest
+from repro.sta import run_sta
+
+
+@pytest.fixture(scope="module")
+def env(small_design):
+    rng = np.random.default_rng(21)
+    x = small_design.cell_x + rng.normal(0, 6, small_design.n_cells)
+    y = small_design.cell_y + rng.normal(0, 6, small_design.n_cells)
+    x[small_design.cell_fixed] = small_design.cell_x[small_design.cell_fixed]
+    y[small_design.cell_fixed] = small_design.cell_y[small_design.cell_fixed]
+    forest = build_forest(small_design, x, y)
+    return small_design, x, y, forest
+
+
+class TestForwardAgainstGolden:
+    def test_small_gamma_matches_exact_wns(self, env):
+        design, x, y, forest = env
+        golden = run_sta(design, x, y)
+        timer = DifferentiableTimer(design, gamma=0.5)
+        tape = timer.forward(x, y, forest)
+        # LSE overshoots max slightly; with tiny gamma they coincide.
+        assert tape.wns == pytest.approx(golden.wns_setup, abs=5.0)
+        assert tape.tns == pytest.approx(golden.tns_setup, rel=0.05)
+
+    def test_smoothing_monotone_in_gamma(self, env):
+        """Larger gamma -> more smoothing -> more pessimistic AT (LSE >= max)."""
+        design, x, y, forest = env
+        wns = []
+        for gamma in (1.0, 10.0, 40.0):
+            tape = DifferentiableTimer(design, gamma=gamma).forward(x, y, forest)
+            wns.append(tape.wns)
+        assert wns[0] > wns[1] > wns[2]
+
+    def test_arrival_times_upper_bound_golden(self, env):
+        design, x, y, forest = env
+        golden = run_sta(design, x, y)
+        tape = DifferentiableTimer(design, gamma=10.0).forward(x, y, forest)
+        reached = golden.at > -1e29
+        assert (tape.at[reached] >= golden.at[reached] - 1e-6).all()
+
+    def test_endpoint_count(self, env):
+        design, x, y, forest = env
+        tape = DifferentiableTimer(design).forward(x, y, forest)
+        assert tape.ep_slack.shape == (
+            DifferentiableTimer(design).graph.n_endpoints,
+        )
+
+
+class TestBackwardFiniteDifference:
+    @pytest.mark.parametrize(
+        "d_tns,d_wns", [(1.0, 0.0), (0.0, 1.0), (0.6, 0.4)]
+    )
+    def test_gradient_matches_fd(self, env, d_tns, d_wns):
+        design, x, y, forest = env
+        timer = DifferentiableTimer(design, gamma=15.0)
+        tape = timer.forward(x, y, forest)
+        gx, gy = timer.backward(tape, d_tns=d_tns, d_wns=d_wns)
+
+        def objective(xx, yy):
+            t = timer.forward(xx, yy, forest)
+            return d_tns * t.tns + d_wns * t.wns
+
+        rng = np.random.default_rng(5)
+        movable = np.nonzero(~design.cell_fixed)[0]
+        strong = movable[np.argsort(-np.abs(gx[movable]))[:6]]
+        probes = np.unique(np.concatenate([strong, rng.choice(movable, 8)]))
+        eps = 1e-4
+        for ci in probes:
+            for arr, grad in ((x, gx), (y, gy)):
+                a, b = arr.copy(), arr.copy()
+                a[ci] += eps
+                b[ci] -= eps
+                if arr is x:
+                    fd = (objective(a, y) - objective(b, y)) / (2 * eps)
+                else:
+                    fd = (objective(x, a) - objective(x, b)) / (2 * eps)
+                assert grad[ci] == pytest.approx(fd, rel=2e-3, abs=1e-6)
+
+    def test_fixed_cells_get_zero_gradient(self, env):
+        design, x, y, forest = env
+        timer = DifferentiableTimer(design)
+        tape = timer.forward(x, y, forest)
+        gx, gy = timer.backward(tape)
+        assert np.abs(gx[design.cell_fixed]).max() == 0.0
+        assert np.abs(gy[design.cell_fixed]).max() == 0.0
+
+    def test_tns_wns_with_grad_consistency(self, env):
+        design, x, y, forest = env
+        timer = DifferentiableTimer(design)
+        tns, wns, gx, gy, tape = timer.tns_wns_with_grad(x, y, forest)
+        assert tns == pytest.approx(tape.tns)
+        assert wns == pytest.approx(tape.wns)
+
+
+class TestGradientDirection:
+    def test_chain_gradient_pulls_cells_toward_shorter_wires(self):
+        """On a stretched chain, increasing TNS means compressing the path.
+
+        Gradient-descent direction is -grad(objective) with objective
+        -TNS; equivalently cells should move along +d(TNS)/dx steps.
+        Moving the middle cell slightly along the positive gradient of TNS
+        must not reduce TNS.
+        """
+        design = make_chain_design(4, clock_period=80.0, die=(0, 0, 200, 20))
+        x = design.cell_x.copy()
+        y = design.cell_y.copy()
+        # Stretch: move middle gates far away vertically.
+        gi = design.cell_index("g1")
+        y[gi] += 80.0
+        forest = build_forest(design, x, y)
+        timer = DifferentiableTimer(design, gamma=5.0)
+        tape0 = timer.forward(x, y, forest)
+        gx, gy = timer.backward(tape0, d_tns=1.0)
+        assert gy[gi] != 0.0
+        step = 0.5
+        x2 = x + step * np.sign(gx) * (np.abs(gx) > 1e-12)
+        y2 = y + step * np.sign(gy) * (np.abs(gy) > 1e-12)
+        tape1 = timer.forward(x2, y2, forest)
+        assert tape1.tns >= tape0.tns
+
+    def test_gradient_descent_step_improves_smoothed_tns(self, env):
+        design, x, y, forest = env
+        timer = DifferentiableTimer(design, gamma=15.0)
+        tape0 = timer.forward(x, y, forest)
+        gx, gy = timer.backward(tape0, d_tns=1.0)
+        norm = np.abs(gx).max() + np.abs(gy).max()
+        step = 0.2 / max(norm, 1e-12)
+        tape1 = timer.forward(x + step * gx, y + step * gy, forest)
+        assert tape1.tns > tape0.tns

@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import GeneratorSpec, generate_design, make_chain_design
+
+
+class TestGeneratedStructure:
+    def test_determinism(self):
+        spec = GeneratorSpec(n_cells=200, depth=8, seed=13)
+        d1 = generate_design(spec)
+        d2 = generate_design(spec)
+        assert d1.cell_name == d2.cell_name
+        assert d1.net_name == d2.net_name
+        np.testing.assert_array_equal(d1.net2pin, d2.net2pin)
+        np.testing.assert_allclose(d1.cell_x, d2.cell_x)
+
+    def test_different_seeds_differ(self):
+        d1 = generate_design(GeneratorSpec(n_cells=200, depth=8, seed=1))
+        d2 = generate_design(GeneratorSpec(n_cells=200, depth=8, seed=2))
+        assert not np.array_equal(d1.net2pin, d2.net2pin)
+
+    def test_every_net_has_driver_and_sink(self, small_design):
+        d = small_design
+        assert (d.net_driver >= 0).all()
+        assert (d.net_degrees >= 2).all()
+
+    def test_has_flipflops_and_clock_net(self, small_design):
+        d = small_design
+        seq = [c for c in range(d.n_cells) if d.cell_type_of(c).is_sequential]
+        assert len(seq) > 0
+        assert d.net_is_clock.sum() == 1
+        ck_net = int(np.nonzero(d.net_is_clock)[0][0])
+        # The clock net connects the clock port to every FF CK pin.
+        assert d.net_degree(ck_net) == len(seq) + 1
+
+    def test_utilization_close_to_target(self):
+        spec = GeneratorSpec(n_cells=400, depth=10, seed=3, utilization=0.7)
+        d = generate_design(spec)
+        assert d.movable_area / d.die_area == pytest.approx(0.7, abs=0.02)
+
+    def test_cell_count_near_target(self):
+        spec = GeneratorSpec(n_cells=600, depth=12, seed=5)
+        d = generate_design(spec)
+        movable = int((~d.cell_fixed).sum())
+        # High-fanout buffers and collector gates add some overhead.
+        assert 600 <= movable <= 600 * 1.6
+
+    def test_fanout_bounded_except_clock_and_hf(self):
+        spec = GeneratorSpec(
+            n_cells=300, depth=8, seed=9, max_fanout=8, n_high_fanout_nets=0
+        )
+        d = generate_design(spec)
+        for ni in range(d.n_nets):
+            if d.net_is_clock[ni]:
+                continue
+            assert d.net_degree(ni) - 1 <= 8 + 2  # slack for endpoint hookup
+
+    def test_high_fanout_nets_exist(self, small_design):
+        d = small_design
+        degrees = [
+            d.net_degree(ni)
+            for ni in range(d.n_nets)
+            if not d.net_is_clock[ni]
+        ]
+        assert max(degrees) >= 10
+
+    def test_ports_on_boundary(self, small_design):
+        d = small_design
+        xl, yl, xh, yh = d.die
+        for i in range(d.n_cells):
+            if d.cell_is_port[i]:
+                on_edge = (
+                    abs(d.cell_x[i] - xl) < 1e-6
+                    or abs(d.cell_x[i] - xh) < 1e-6
+                    or abs(d.cell_y[i] - yl) < 1e-6
+                    or abs(d.cell_y[i] - yh) < 1e-6
+                )
+                assert on_edge
+
+    def test_constraints_populated(self, small_design):
+        c = small_design.constraints
+        assert c.clock_period > 0
+        assert len(c.input_delays) > 0
+        assert len(c.output_loads) > 0
+
+    def test_combinational_dag_is_acyclic(self, small_design):
+        # TimingGraph construction levelises and would raise on a cycle.
+        from repro.sta import TimingGraph
+
+        graph = TimingGraph(small_design)
+        assert graph.n_levels > small_design.n_cells ** 0  # built fine
+
+    def test_logic_depth_scales_with_spec(self):
+        from repro.sta import TimingGraph
+
+        shallow = generate_design(GeneratorSpec(n_cells=200, depth=4, seed=1))
+        deep = generate_design(GeneratorSpec(n_cells=200, depth=12, seed=1))
+        assert TimingGraph(deep).n_levels > TimingGraph(shallow).n_levels
+
+
+class TestChainDesign:
+    def test_structure(self):
+        d = make_chain_design(5)
+        assert d.n_cells == 3 + 5 + 1  # ports + gates + ff
+        assert d.n_nets == 5 + 1 + 1 + 1
+
+    def test_spread_positions_monotone(self):
+        d = make_chain_design(4, spread=True)
+        xs = [d.cell_x[d.cell_index(f"g{i}")] for i in range(4)]
+        assert all(a < b for a, b in zip(xs, xs[1:]))
+
+    def test_custom_cell(self):
+        d = make_chain_design(3, cell="BUF_X1")
+        assert d.cell_type_of(d.cell_index("g0")).name == "BUF_X1"

@@ -1,0 +1,50 @@
+"""Unit tests for the finite-difference gradient-check utility."""
+
+import numpy as np
+import pytest
+
+from repro.core import check_gradient, central_difference
+
+
+def quadratic(x):
+    return float(np.sum(x**2) + 2.0 * x[0])
+
+
+class TestCentralDifference:
+    def test_quadratic_partial(self):
+        x = np.array([1.0, 2.0, 3.0])
+        fd = central_difference(quadratic, x, 0)
+        assert fd == pytest.approx(2 * x[0] + 2.0, rel=1e-6)
+
+    def test_second_coordinate(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert central_difference(quadratic, x, 2) == pytest.approx(6.0, rel=1e-6)
+
+
+class TestCheckGradient:
+    def test_correct_gradient_passes(self):
+        x = np.array([0.5, -1.5, 2.0])
+        grad = 2 * x + np.array([2.0, 0.0, 0.0])
+        report = check_gradient(quadratic, grad, x)
+        assert report.ok
+        assert report.n_checked == 3
+        assert report.max_abs_err < 1e-5
+
+    def test_wrong_gradient_fails(self):
+        x = np.array([0.5, -1.5, 2.0])
+        grad = np.zeros(3)
+        report = check_gradient(quadratic, grad, x)
+        assert not report.ok
+        assert report.n_failed == 3
+
+    def test_subset_of_indices(self):
+        x = np.arange(10, dtype=float)
+        grad = 2 * x + np.eye(10)[0] * 2.0
+        report = check_gradient(quadratic, grad, x, indices=[0, 5])
+        assert report.n_checked == 2
+        assert report.ok
+
+    def test_str_mentions_counts(self):
+        x = np.array([1.0])
+        report = check_gradient(lambda v: float(v[0] ** 2), np.array([2.0]), x)
+        assert "1 probes" in str(report)

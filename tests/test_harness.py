@@ -1,0 +1,131 @@
+"""Tests for the experiment harness (suite, runners, tables, curves)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    SUITE,
+    RunRecord,
+    Table3Result,
+    average_ratios,
+    format_table2,
+    format_table3,
+    load_design,
+    run_mode,
+    suite_statistics,
+)
+from repro.harness.curves import CurveData, format_fig8, run_fig8, to_csv
+from repro.netlist import GeneratorSpec, generate_design
+from repro.place import PlacerOptions
+
+
+class TestSuite:
+    def test_suite_has_eight_designs(self):
+        assert len(SUITE) == 8
+        assert [e.superblue for e in SUITE] == [
+            "superblue1", "superblue3", "superblue4", "superblue5",
+            "superblue7", "superblue10", "superblue16", "superblue18",
+        ]
+
+    def test_load_design_deterministic(self):
+        d1 = load_design("miniblue18")
+        d2 = load_design("miniblue18")
+        assert d1.n_cells == d2.n_cells
+        np.testing.assert_allclose(d1.cell_x, d2.cell_x)
+
+    def test_relative_ordering_matches_superblue(self):
+        stats = {e.name: e for e in SUITE}
+        d7 = load_design("miniblue7")
+        d18 = load_design("miniblue18")
+        assert d7.n_cells > d18.n_cells  # superblue7 >> superblue18
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            load_design("miniblue99")
+
+    def test_format_table2(self):
+        rows = suite_statistics()
+        text = format_table2(rows)
+        assert "miniblue1" in text and "superblue18" in text
+        assert len(text.splitlines()) == len(SUITE) + 2
+
+
+class TestRunMode:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return generate_design(GeneratorSpec(name="tiny", n_cells=120, depth=5, seed=3))
+
+    def test_all_modes_run(self, tiny):
+        popts = PlacerOptions(max_iters=120)
+        for mode in ("dreamplace", "netweight", "ours"):
+            rec = run_mode(tiny, mode, placer_options=popts)
+            assert rec.mode == mode
+            assert rec.wns < 1e29
+            assert rec.hpwl > 0
+            assert rec.runtime > 0
+            assert len(rec.trace) > 0
+
+    def test_unknown_mode_rejected(self, tiny):
+        with pytest.raises(ValueError):
+            run_mode(tiny, "quantum")
+
+    def test_trace_sta_adds_timing_series(self, tiny):
+        rec = run_mode(
+            tiny,
+            "dreamplace",
+            placer_options=PlacerOptions(max_iters=60),
+            with_trace_sta=True,
+        )
+        assert any("wns" in t for t in rec.trace)
+
+    def test_summary_format(self, tiny):
+        rec = run_mode(tiny, "dreamplace", placer_options=PlacerOptions(max_iters=40))
+        assert "WNS=" in rec.summary() and "tiny" in rec.summary()
+
+
+class TestTable3Formatting:
+    def _fake_record(self, design, mode, wns, tns, hpwl, runtime):
+        return RunRecord(
+            design=design, mode=mode, wns=wns, tns=tns, hpwl=hpwl,
+            runtime=runtime, iterations=1, stop_reason="overflow",
+            x=np.zeros(1), y=np.zeros(1),
+        )
+
+    def test_average_ratios(self):
+        result = Table3Result()
+        result.add(self._fake_record("d1", "ours", -100.0, -1000.0, 50.0, 2.0))
+        result.add(self._fake_record("d1", "dreamplace", -200.0, -3000.0, 45.0, 1.0))
+        ratios = average_ratios(result)
+        assert ratios["dreamplace"]["wns"] == pytest.approx(2.0)
+        assert ratios["dreamplace"]["tns"] == pytest.approx(3.0)
+        assert ratios["dreamplace"]["hpwl"] == pytest.approx(0.9)
+        assert ratios["ours"]["wns"] == pytest.approx(1.0)
+
+    def test_format_contains_all_rows(self):
+        result = Table3Result()
+        for d in ("d1", "d2"):
+            result.add(self._fake_record(d, "ours", -1.0, -2.0, 3.0, 4.0))
+            result.add(self._fake_record(d, "dreamplace", -2.0, -4.0, 3.0, 1.0))
+        text = format_table3(result)
+        assert "d1" in text and "d2" in text and "Avg. Ratio" in text
+
+
+class TestCurves:
+    def test_fig8_on_tiny_design(self, monkeypatch):
+        # Use a small custom design in place of miniblue4 for test speed.
+        tiny = generate_design(GeneratorSpec(name="tiny8", n_cells=120, depth=5, seed=4))
+        import repro.harness.curves as curves_mod
+
+        monkeypatch.setattr(curves_mod, "load_design", lambda name: tiny)
+        data = run_fig8("tiny8", max_iters=120)
+        assert set(data.series) == {"dreamplace", "ours"}
+        for mode in data.series:
+            xs, ys = data.panel("hpwl", mode)
+            assert len(xs) > 0
+            xs, ys = data.panel("wns", mode)
+            assert len(xs) > 0
+        text = format_fig8(data, step=20)
+        assert "final dreamplace" in text and "final ours" in text
+        csv = to_csv(data)
+        assert csv.splitlines()[0] == "iteration,mode,metric,value"
+        assert len(csv.splitlines()) > 10

@@ -1,0 +1,111 @@
+"""Validation of the incremental STA engine against full re-analysis."""
+
+import numpy as np
+import pytest
+
+from repro.sta import IncrementalTimer, run_sta
+
+
+@pytest.fixture()
+def timer(small_design, spread_positions):
+    x, y = spread_positions
+    t = IncrementalTimer(small_design)
+    t.reset(x, y)
+    return t
+
+
+class TestBaseline:
+    def test_reset_matches_golden(self, timer, small_design, spread_positions):
+        x, y = spread_positions
+        ref = run_sta(small_design, x, y)
+        assert timer.wns == pytest.approx(ref.wns_setup)
+        assert timer.tns == pytest.approx(ref.tns_setup)
+        np.testing.assert_allclose(timer.ep_slack, ref.endpoint_slack)
+
+    def test_verify_passes_initially(self, timer):
+        assert timer.verify()
+
+
+class TestSingleMoves:
+    def test_random_moves_match_golden(self, timer, small_design):
+        rng = np.random.default_rng(3)
+        movable = np.nonzero(~small_design.cell_fixed)[0]
+        xl, yl, xh, yh = small_design.die
+        for _ in range(12):
+            ci = int(rng.choice(movable))
+            nx = float(np.clip(timer.x[ci] + rng.normal(0, 5), xl, xh))
+            ny = float(np.clip(timer.y[ci] + rng.normal(0, 5), yl, yh))
+            wns, tns = timer.move([ci], [nx], [ny])
+            ref = run_sta(small_design, timer.x, timer.y)
+            assert wns == pytest.approx(ref.wns_setup, abs=1e-6)
+            assert tns == pytest.approx(ref.tns_setup, abs=1e-5)
+
+    def test_null_move_is_identity(self, timer):
+        wns0, tns0 = timer.wns, timer.tns
+        ci = int(np.nonzero(~timer.design.cell_fixed)[0][0])
+        timer.move([ci], [timer.x[ci]], [timer.y[ci]])
+        assert timer.wns == pytest.approx(wns0)
+        assert timer.tns == pytest.approx(tns0)
+
+    def test_move_and_undo_restores_state(self, timer, small_design):
+        rng = np.random.default_rng(4)
+        movable = np.nonzero(~small_design.cell_fixed)[0]
+        cells = rng.choice(movable, 4, replace=False)
+        old_x = timer.x[cells].copy()
+        old_y = timer.y[cells].copy()
+        at0 = timer.at.copy()
+        slew0 = timer.slew.copy()
+        wns0, tns0 = timer.wns, timer.tns
+        timer.move(cells, old_x + 4.0, old_y - 3.0)
+        timer.move(cells, old_x, old_y)
+        assert timer.wns == pytest.approx(wns0, abs=1e-9)
+        assert timer.tns == pytest.approx(tns0, abs=1e-8)
+        np.testing.assert_allclose(timer.at, at0, atol=1e-8)
+        np.testing.assert_allclose(timer.slew, slew0, atol=1e-8)
+
+    def test_moving_critical_cell_changes_wns(self, timer, small_design):
+        # Find a cell on the worst path and yank it far away.
+        from repro.sta import StaticTimingAnalyzer, worst_paths
+
+        sta = StaticTimingAnalyzer(small_design, timer.graph)
+        res = sta.run(timer.x, timer.y)
+        path = worst_paths(res, 1)[0]
+        cell = next(
+            int(small_design.pin2cell[p.pin])
+            for p in path.points
+            if not small_design.cell_fixed[small_design.pin2cell[p.pin]]
+        )
+        wns0 = timer.wns
+        xl, yl, xh, yh = small_design.die
+        timer.move([cell], [xl + 1.0], [yl + 1.0])
+        assert timer.wns != pytest.approx(wns0)
+
+    def test_batch_move_matches_golden(self, timer, small_design):
+        rng = np.random.default_rng(5)
+        movable = np.nonzero(~small_design.cell_fixed)[0]
+        cells = rng.choice(movable, 6, replace=False)
+        timer.move(cells, timer.x[cells] + 2.0, timer.y[cells] - 2.0)
+        ref = run_sta(small_design, timer.x, timer.y)
+        assert timer.wns == pytest.approx(ref.wns_setup, abs=1e-6)
+        assert timer.tns == pytest.approx(ref.tns_setup, abs=1e-5)
+
+
+class TestEfficiency:
+    def test_recompute_count_is_local(self, timer, small_design):
+        """A single move should touch far fewer pins than the design has."""
+        rng = np.random.default_rng(6)
+        movable = np.nonzero(~small_design.cell_fixed)[0]
+        before = timer.n_pins_recomputed
+        ci = int(rng.choice(movable))
+        timer.move([ci], [timer.x[ci] + 1.0], [timer.y[ci]])
+        touched = timer.n_pins_recomputed - before
+        assert touched < small_design.n_pins / 2
+
+    def test_fixed_port_move_rejected_semantics(self, timer, small_design):
+        """Moving a port is allowed by the API (caller decides legality);
+        the timing update must still be exact."""
+        ports = np.nonzero(small_design.cell_is_port)[0]
+        pi = int(ports[1])
+        timer.move([pi], [timer.x[pi] + 1.0], [timer.y[pi]])
+        ref = run_sta(small_design, timer.x, timer.y)
+        assert timer.wns == pytest.approx(ref.wns_setup, abs=1e-6)

@@ -1,0 +1,119 @@
+"""End-to-end integration: every stage of the flow chained on one design.
+
+generate -> timing-driven GP -> legalize -> detailed placement ->
+buffer insertion -> bundle save/load -> final STA, with cross-stage
+invariants asserted at every hand-off.  This is the test that fails first
+when an interface between subsystems drifts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TimingDrivenPlacer, TimingPlacerOptions
+from repro.netlist import (
+    GeneratorSpec,
+    generate_design,
+    load_design_bundle,
+    save_design,
+)
+from repro.place import (
+    BufferingOptions,
+    DetailedPlacerOptions,
+    GlobalPlacer,
+    PlacerOptions,
+    TimingDrivenBufferizer,
+    TimingDrivenDetailedPlacer,
+    legalize,
+    max_overlap,
+    rudy_map,
+)
+from repro.sta import run_sta, slack_histogram, worst_paths
+
+
+@pytest.fixture(scope="module")
+def flow_state(tmp_path_factory):
+    design = generate_design(
+        GeneratorSpec(name="integration", n_cells=220, depth=8, seed=99)
+    )
+    state = {"design": design}
+
+    gp = TimingDrivenPlacer(
+        design,
+        TimingPlacerOptions(placer=PlacerOptions(max_iters=500), sta_in_trace=False),
+    ).run()
+    state["gp"] = gp
+
+    lx, ly = legalize(design, gp.x, gp.y)
+    state["legal"] = (lx, ly)
+
+    dp = TimingDrivenDetailedPlacer(
+        design, DetailedPlacerOptions(passes=1, n_critical_paths=4)
+    ).run(lx, ly)
+    state["dp"] = dp
+
+    buf = TimingDrivenBufferizer(BufferingOptions(max_buffers=3)).run(
+        design, dp.x, dp.y
+    )
+    bx, by = legalize(buf.design, buf.x, buf.y)
+    state["buf"] = buf
+    state["buf_legal"] = (bx, by)
+
+    bundle = str(tmp_path_factory.mktemp("flow_bundle"))
+    save_design(buf.design, bundle, bx, by)
+    state["bundle"] = bundle
+    return state
+
+
+class TestFlowInvariants:
+    def test_global_placement_converged(self, flow_state):
+        assert flow_state["gp"].stop_reason == "overflow"
+
+    def test_gp_beats_wirelength_only_on_timing(self, flow_state):
+        design = flow_state["design"]
+        base = GlobalPlacer(design, PlacerOptions(max_iters=500)).run()
+        r_base = run_sta(design, base.x, base.y)
+        r_ours = run_sta(design, flow_state["gp"].x, flow_state["gp"].y)
+        assert r_ours.tns_setup > r_base.tns_setup
+
+    def test_each_stage_legal_and_in_die(self, flow_state):
+        design = flow_state["design"]
+        lx, ly = flow_state["legal"]
+        assert max_overlap(design, lx, ly) < 1e-9
+        dp = flow_state["dp"]
+        assert max_overlap(design, dp.x, dp.y) < 1e-9
+        buf = flow_state["buf"]
+        bx, by = flow_state["buf_legal"]
+        assert max_overlap(buf.design, bx, by) < 1e-9
+        xl, yl, xh, yh = design.die
+        assert (bx >= xl - 1e-9).all() and (bx <= xh + 1e-9).all()
+
+    def test_optimization_stages_never_hurt_their_score(self, flow_state):
+        dp = flow_state["dp"]
+        assert dp.wns_after >= dp.wns_before - 1e-6
+        buf = flow_state["buf"]
+        score = lambda w, t: t + 50.0 * w
+        assert score(buf.wns_after, buf.tns_after) >= score(
+            buf.wns_before, buf.tns_before
+        ) - 1e-6
+
+    def test_bundle_roundtrip_preserves_final_timing(self, flow_state):
+        buf = flow_state["buf"]
+        bx, by = flow_state["buf_legal"]
+        reference = run_sta(buf.design, bx, by)
+        reloaded, x, y = load_design_bundle(flow_state["bundle"])
+        result = run_sta(reloaded)
+        assert reloaded.n_cells == buf.design.n_cells
+        assert result.wns_setup == pytest.approx(reference.wns_setup, rel=0.02)
+        assert result.tns_setup == pytest.approx(reference.tns_setup, rel=0.02)
+
+    def test_reports_work_on_final_design(self, flow_state):
+        buf = flow_state["buf"]
+        bx, by = flow_state["buf_legal"]
+        result = run_sta(buf.design, bx, by, compute_hold=True,
+                         propagated_clock=True)
+        hist = slack_histogram(result)
+        assert hist.n_endpoints == len(result.endpoint_slack)
+        paths = worst_paths(result, 2)
+        assert len(paths) == 2
+        cm = rudy_map(buf.design, bx, by)
+        assert np.isfinite(cm.peak)

@@ -1,0 +1,127 @@
+"""Unit tests for legalization and greedy refinement."""
+
+import numpy as np
+import pytest
+
+from repro.place import (
+    GlobalPlacer,
+    PlacerOptions,
+    greedy_refine,
+    hpwl,
+    legalize,
+    max_overlap,
+)
+from repro.place.legalize import _abacus_row
+
+
+@pytest.fixture(scope="module")
+def global_placement(small_design):
+    result = GlobalPlacer(small_design, PlacerOptions(max_iters=300)).run()
+    return result.x, result.y
+
+
+class TestAbacusRow:
+    def test_non_overlapping_input_untouched(self):
+        desired = np.array([0.0, 10.0, 20.0])
+        widths = np.array([2.0, 2.0, 2.0])
+        out = _abacus_row(desired, widths, 0.0, 100.0)
+        np.testing.assert_allclose(out, desired)
+
+    def test_overlap_resolved_at_optimal_mean(self):
+        # Two cells wanting the same spot: optimal split is symmetric.
+        desired = np.array([10.0, 10.0])
+        widths = np.array([4.0, 4.0])
+        out = _abacus_row(desired, widths, 0.0, 100.0)
+        assert out[1] - out[0] == pytest.approx(4.0)
+        assert 0.5 * (out[0] + out[1]) == pytest.approx(10.0)
+
+    def test_boundary_clamping(self):
+        desired = np.array([-10.0, 95.0])
+        widths = np.array([4.0, 10.0])
+        out = _abacus_row(desired, widths, 0.0, 100.0)
+        assert out[0] >= 0.0
+        assert out[1] + 10.0 <= 100.0 + 1e-9
+
+    def test_chain_merge(self):
+        desired = np.array([0.0, 1.0, 2.0, 3.0])
+        widths = np.array([3.0, 3.0, 3.0, 3.0])
+        out = _abacus_row(desired, widths, 0.0, 100.0)
+        gaps = np.diff(out)
+        assert (gaps >= 3.0 - 1e-9).all()
+        # Unconstrained optimum (mean of desired - offsets) is -3.0, but
+        # the row floor clamps the cluster to start at 0.
+        assert out[0] == pytest.approx(0.0)
+        # Without the floor, the optimum is indeed the cluster-target mean.
+        offsets = np.array([0.0, 3.0, 6.0, 9.0])
+        out2 = _abacus_row(desired, widths, -50.0, 100.0)
+        assert out2[0] == pytest.approx(np.mean(desired - offsets))
+
+
+class TestLegalize:
+    def test_no_overlaps(self, small_design, global_placement):
+        x, y = global_placement
+        lx, ly = legalize(small_design, x, y)
+        assert max_overlap(small_design, lx, ly) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cells_in_rows(self, small_design, global_placement):
+        x, y = global_placement
+        lx, ly = legalize(small_design, x, y)
+        yl = small_design.die[1]
+        movable = ~small_design.cell_fixed
+        offsets = (ly[movable] - yl) / small_design.row_height - 0.5
+        np.testing.assert_allclose(offsets, np.round(offsets), atol=1e-9)
+
+    def test_cells_inside_die(self, small_design, global_placement):
+        x, y = global_placement
+        lx, ly = legalize(small_design, x, y)
+        xl, yl, xh, yh = small_design.die
+        movable = ~small_design.cell_fixed
+        w = small_design.cell_w[movable]
+        assert (lx[movable] - 0.5 * w >= xl - 1e-9).all()
+        assert (lx[movable] + 0.5 * w <= xh + 1e-9).all()
+
+    def test_fixed_cells_untouched(self, small_design, global_placement):
+        x, y = global_placement
+        lx, ly = legalize(small_design, x, y)
+        fixed = small_design.cell_fixed
+        np.testing.assert_allclose(lx[fixed], x[fixed])
+        np.testing.assert_allclose(ly[fixed], y[fixed])
+
+    def test_displacement_reasonable(self, small_design, global_placement):
+        x, y = global_placement
+        lx, ly = legalize(small_design, x, y)
+        movable = ~small_design.cell_fixed
+        disp = np.abs(lx - x)[movable] + np.abs(ly - y)[movable]
+        xl, yl, xh, yh = small_design.die
+        assert disp.mean() < 0.15 * ((xh - xl) + (yh - yl))
+
+    def test_hpwl_not_destroyed(self, small_design, global_placement):
+        x, y = global_placement
+        lx, ly = legalize(small_design, x, y)
+        assert hpwl(small_design, lx, ly) < 1.5 * hpwl(small_design, x, y)
+
+    def test_clustered_input_still_legalizes(self, small_design):
+        d = small_design
+        xl, yl, xh, yh = d.die
+        x = np.full(d.n_cells, 0.5 * (xl + xh))
+        y = np.full(d.n_cells, 0.5 * (yl + yh))
+        lx, ly = legalize(d, x, y)
+        assert max_overlap(d, lx, ly) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGreedyRefine:
+    def test_refinement_never_hurts(self, small_design, global_placement):
+        x, y = global_placement
+        lx, ly = legalize(small_design, x, y)
+        rx, ry = greedy_refine(small_design, lx, ly, passes=1)
+        assert hpwl(small_design, rx, ry) <= hpwl(small_design, lx, ly) + 1e-9
+        assert max_overlap(small_design, rx, ry) == pytest.approx(0.0, abs=1e-9)
+
+    def test_idempotent_when_converged(self, small_design, global_placement):
+        x, y = global_placement
+        lx, ly = legalize(small_design, x, y)
+        r1 = greedy_refine(small_design, lx, ly, passes=3)
+        r2 = greedy_refine(small_design, r1[0], r1[1], passes=1)
+        assert hpwl(small_design, *r2) == pytest.approx(
+            hpwl(small_design, *r1), rel=1e-9
+        )

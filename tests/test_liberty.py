@@ -1,0 +1,168 @@
+"""Unit tests for the Liberty subset parser and writer."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    ArcKind,
+    LibertyError,
+    Unateness,
+    default_library,
+    parse_liberty,
+    write_liberty,
+)
+from repro.netlist.liberty import parse_liberty_groups
+
+
+class TestRoundTrip:
+    def test_full_default_library_roundtrip(self, library):
+        text = write_liberty(library)
+        parsed = parse_liberty(text)
+        assert parsed.name == library.name
+        assert set(c.name for c in parsed) == set(c.name for c in library)
+
+    def test_luts_roundtrip_bit_exact(self, library):
+        parsed = parse_liberty(write_liberty(library))
+        for cell in library:
+            other = parsed[cell.name]
+            assert len(other.arcs) == len(cell.arcs)
+            # Liberty groups arcs under their sink pin, so the parsed order
+            # can differ from construction order; match by identity key.
+            index = {
+                (a.from_pin, a.to_pin, a.kind): a for a in other.arcs
+            }
+            for arc in cell.arcs:
+                arc2 = index[(arc.from_pin, arc.to_pin, arc.kind)]
+                assert arc.kind == arc2.kind
+                if arc.kind.is_delay_arc:
+                    assert arc.unateness == arc2.unateness
+                for kind in (
+                    "cell_rise",
+                    "cell_fall",
+                    "rise_transition",
+                    "fall_transition",
+                    "rise_constraint",
+                    "fall_constraint",
+                ):
+                    lut = getattr(arc, kind)
+                    lut2 = getattr(arc2, kind)
+                    assert (lut is None) == (lut2 is None)
+                    if lut is not None:
+                        assert lut == lut2
+
+    def test_geometry_roundtrip(self, library):
+        parsed = parse_liberty(write_liberty(library))
+        for cell in library:
+            assert parsed[cell.name].width == pytest.approx(cell.width)
+            assert parsed[cell.name].height == pytest.approx(cell.height)
+
+    def test_pin_attributes_roundtrip(self, library):
+        parsed = parse_liberty(write_liberty(library))
+        dff = parsed["DFF_X1"]
+        assert dff.is_sequential
+        assert dff.pin("CK").is_clock
+        assert dff.pin("D").capacitance == pytest.approx(
+            library["DFF_X1"].pin("D").capacitance
+        )
+
+    def test_wire_model_roundtrip(self, library):
+        parsed = parse_liberty(write_liberty(library))
+        assert parsed.wire.res_per_um == pytest.approx(library.wire.res_per_um)
+        assert parsed.wire.cap_per_um == pytest.approx(library.wire.cap_per_um)
+
+
+class TestParserDetails:
+    def test_comments_are_ignored(self):
+        text = """
+        /* block comment */
+        library (demo) { // line comment
+          time_unit : "1ps";
+          cell (X) { area : 2.0; pin (A) { direction : input; capacitance : 1.0; } }
+        }
+        """
+        lib = parse_liberty(text)
+        assert "X" in lib
+
+    def test_quoted_function_with_special_chars(self):
+        text = """
+        library (demo) {
+          cell (M) {
+            area : 2.0;
+            pin (Y) { direction : output; function : "S ? (A & B) : !C"; }
+          }
+        }
+        """
+        lib = parse_liberty(text)
+        assert lib["M"].function == "S ? (A & B) : !C"
+
+    def test_values_with_line_continuations(self):
+        text = r"""
+        library (demo) {
+          cell (X) {
+            area : 1.0;
+            pin (A) { direction : input; capacitance : 1.0; }
+            pin (Y) { direction : output;
+              timing () {
+                related_pin : "A";
+                timing_type : combinational;
+                timing_sense : positive_unate;
+                cell_rise (t) {
+                  index_1 ("1, 2");
+                  index_2 ("3, 4");
+                  values ( \
+                    "10, 11", \
+                    "12, 13");
+                }
+                cell_fall (t) { values ("1, 1", "1, 1"); index_1 ("1, 2"); index_2 ("3, 4"); }
+                rise_transition (t) { values ("1, 1", "1, 1"); index_1 ("1, 2"); index_2 ("3, 4"); }
+                fall_transition (t) { values ("1, 1", "1, 1"); index_1 ("1, 2"); index_2 ("3, 4"); }
+              }
+            }
+          }
+        }
+        """
+        lib = parse_liberty(text)
+        lut = lib["X"].arcs[0].cell_rise
+        np.testing.assert_allclose(lut.values, [[10, 11], [12, 13]])
+        assert lib["X"].arcs[0].unateness is Unateness.POSITIVE
+
+    def test_group_tree_structure(self):
+        root = parse_liberty_groups(
+            'library (l) { a : 1; g (x) { b : 2; } c (1, ff); }'
+        )
+        assert root.kind == "library"
+        assert root.attrs["a"] == "1"
+        assert root.first("g").attrs["b"] == "2"
+        assert root.complex_attrs["c"] == [["1", "ff"]]
+
+    def test_timing_without_related_pin_rejected(self):
+        text = """
+        library (demo) {
+          cell (X) {
+            pin (Y) { direction : output; timing () { timing_type : combinational; } }
+          }
+        }
+        """
+        with pytest.raises(LibertyError, match="related_pin"):
+            parse_liberty(text)
+
+    def test_top_level_must_be_library(self):
+        with pytest.raises(LibertyError, match="library"):
+            parse_liberty("cell (x) { }")
+
+    def test_unterminated_group_rejected(self):
+        with pytest.raises(LibertyError):
+            parse_liberty("library (l) { cell (x) {")
+
+    def test_setup_arc_kind_parsed(self, library):
+        parsed = parse_liberty(write_liberty(library))
+        kinds = {a.kind for a in parsed["DFF_X1"].arcs}
+        assert ArcKind.SETUP in kinds and ArcKind.HOLD in kinds
+
+    def test_file_roundtrip(self, tmp_path, library):
+        from repro.netlist import read_liberty_file, write_liberty_file
+
+        path = str(tmp_path / "lib.lib")
+        write_liberty_file(library, path)
+        parsed = read_liberty_file(path)
+        assert len(parsed) == len(library)

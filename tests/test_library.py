@@ -1,0 +1,130 @@
+"""Unit tests for the standard-cell library model."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    ArcKind,
+    CellType,
+    FALL,
+    PinDirection,
+    PinSpec,
+    RISE,
+    TimingArc,
+    Unateness,
+    default_library,
+)
+from repro.netlist.library import make_constraint_tables, make_delay_tables
+
+
+class TestUnateness:
+    def test_positive_unate_maps_same_edge(self):
+        assert Unateness.POSITIVE.transition_sources(RISE) == (RISE,)
+        assert Unateness.POSITIVE.transition_sources(FALL) == (FALL,)
+
+    def test_negative_unate_flips_edge(self):
+        assert Unateness.NEGATIVE.transition_sources(RISE) == (FALL,)
+        assert Unateness.NEGATIVE.transition_sources(FALL) == (RISE,)
+
+    def test_non_unate_takes_both(self):
+        assert set(Unateness.NON_UNATE.transition_sources(RISE)) == {RISE, FALL}
+
+
+class TestArcKind:
+    def test_delay_arc_classification(self):
+        assert ArcKind.COMBINATIONAL.is_delay_arc
+        assert ArcKind.CLOCK_TO_Q.is_delay_arc
+        assert not ArcKind.SETUP.is_delay_arc
+        assert not ArcKind.HOLD.is_delay_arc
+
+
+class TestDefaultLibrary:
+    def test_contains_expected_cells(self, library):
+        for name in ("INV_X1", "NAND2_X1", "XOR2_X1", "DFF_X1", "BUF_X1"):
+            assert name in library
+
+    def test_dff_is_sequential_with_setup_and_hold(self, library):
+        dff = library["DFF_X1"]
+        assert dff.is_sequential
+        kinds = {arc.kind for arc in dff.arcs}
+        assert ArcKind.CLOCK_TO_Q in kinds
+        assert ArcKind.SETUP in kinds
+        assert ArcKind.HOLD in kinds
+        assert dff.pin("CK").is_clock
+
+    def test_inverter_is_negative_unate(self, library):
+        arc = library["INV_X1"].delay_arcs()[0]
+        assert arc.unateness is Unateness.NEGATIVE
+
+    def test_xor_is_non_unate(self, library):
+        arc = library["XOR2_X1"].delay_arcs()[0]
+        assert arc.unateness is Unateness.NON_UNATE
+
+    def test_cell_geometry_positive(self, library):
+        for cell in library:
+            assert cell.width > 0
+            assert cell.height > 0
+            assert cell.area == pytest.approx(cell.width * cell.height)
+
+    def test_every_delay_arc_has_four_tables(self, library):
+        for cell in library:
+            for arc in cell.delay_arcs():
+                for t in (RISE, FALL):
+                    assert arc.delay_lut(t) is not None
+                    assert arc.transition_lut(t) is not None
+
+    def test_input_pins_have_capacitance(self, library):
+        for cell in library:
+            for pin in cell.input_pins:
+                assert pin.capacitance > 0
+
+    def test_stronger_drive_has_lower_delay_at_high_load(self, library):
+        weak = library["INV_X1"].delay_arcs()[0].delay_lut(RISE)
+        strong = library["INV_X4"].delay_arcs()[0].delay_lut(RISE)
+        assert strong.lookup(20.0, 50.0) < weak.lookup(20.0, 50.0)
+
+    def test_pin_lookup_error(self, library):
+        with pytest.raises(KeyError):
+            library["INV_X1"].pin("nonexistent")
+
+    def test_duplicate_cell_rejected(self, library):
+        with pytest.raises(ValueError):
+            library.add(library["INV_X1"])
+
+
+class TestCharacterisation:
+    def test_delay_increases_with_load(self):
+        cr, cf, tr, tf = make_delay_tables(10.0, 3.0, 0.08, 8.0, 2.7)
+        low = cr.lookup(16.0, 1.0)
+        high = cr.lookup(16.0, 50.0)
+        assert high > low
+
+    def test_delay_increases_with_slew(self):
+        cr, *_ = make_delay_tables(10.0, 3.0, 0.08, 8.0, 2.7)
+        assert cr.lookup(200.0, 4.0) > cr.lookup(4.0, 4.0)
+
+    def test_fall_tables_slower_than_rise(self):
+        cr, cf, tr, tf = make_delay_tables(10.0, 3.0, 0.08, 8.0, 2.7)
+        assert cf.lookup(16.0, 8.0) > cr.lookup(16.0, 8.0)
+        assert tf.lookup(16.0, 8.0) > tr.lookup(16.0, 8.0)
+
+    def test_constraint_tables_positive(self):
+        rc, fc = make_constraint_tables(12.0)
+        assert rc.lookup(20.0, 20.0) > 0
+        assert fc.lookup(20.0, 20.0) > rc.lookup(20.0, 20.0)
+
+
+class TestTimingArcAccessors:
+    def test_missing_lut_raises(self):
+        arc = TimingArc("A", "Y", ArcKind.COMBINATIONAL)
+        with pytest.raises(ValueError):
+            arc.delay_lut(RISE)
+        with pytest.raises(ValueError):
+            arc.transition_lut(FALL)
+        with pytest.raises(ValueError):
+            arc.constraint_lut(RISE)
+
+    def test_celltype_arc_filters(self, library):
+        dff = library["DFF_X1"]
+        assert len(dff.delay_arcs()) == 1
+        assert len(dff.check_arcs()) == 2

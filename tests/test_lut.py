@@ -1,0 +1,119 @@
+"""Unit tests for NLDM lookup tables (interpolation + gradients)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.lut import LUT
+
+
+def make_bilinear(a, b, c, d):
+    """A LUT sampled from the exactly-bilinear f(x, y) = a+bx+cy+dxy."""
+    x = np.array([1.0, 4.0, 9.0])
+    y = np.array([0.5, 2.0, 8.0])
+    values = a + b * x[:, None] + c * y[None, :] + d * x[:, None] * y[None, :]
+    return LUT(x, y, values), lambda q, r: a + b * q + c * r + d * q * r
+
+
+class TestLookupValues:
+    def test_exact_at_grid_points(self):
+        lut, f = make_bilinear(1.0, 2.0, -0.5, 0.25)
+        for xv in lut.x:
+            for yv in lut.y:
+                assert lut.lookup(xv, yv) == pytest.approx(f(xv, yv))
+
+    def test_interior_interpolation_is_exact_for_bilinear(self):
+        lut, f = make_bilinear(0.3, -1.0, 2.0, 0.1)
+        assert lut.lookup(2.5, 1.0) == pytest.approx(f(2.5, 1.0))
+        assert lut.lookup(6.0, 5.0) == pytest.approx(f(6.0, 5.0))
+
+    def test_extrapolation_is_linear(self):
+        lut, f = make_bilinear(0.0, 1.5, 0.7, 0.0)
+        # d == 0 means f is affine, so extrapolation is also exact.
+        assert lut.lookup(20.0, 0.1) == pytest.approx(f(20.0, 0.1))
+        assert lut.lookup(-3.0, 12.0) == pytest.approx(f(-3.0, 12.0))
+
+    def test_broadcasting(self):
+        lut, f = make_bilinear(1.0, 1.0, 1.0, 0.0)
+        xs = np.array([1.0, 2.0, 3.0])
+        out = lut.lookup(xs, 1.0)
+        assert out.shape == (3,)
+        np.testing.assert_allclose(out, [f(v, 1.0) for v in xs])
+
+    def test_constant_lut(self):
+        lut = LUT.constant(42.0)
+        assert lut.lookup(123.0, -7.0) == pytest.approx(42.0)
+        v, dx, dy = lut.lookup_with_grad(np.array([5.0]), np.array([5.0]))
+        assert dx[0] == 0.0 and dy[0] == 0.0
+
+    def test_single_row_lut_interpolates_along_y(self):
+        lut = LUT(np.array([0.0]), np.array([0.0, 10.0]), np.array([[0.0, 5.0]]))
+        assert lut.lookup(99.0, 5.0) == pytest.approx(2.5)
+
+    def test_single_column_lut_interpolates_along_x(self):
+        lut = LUT(np.array([0.0, 10.0]), np.array([0.0]), np.array([[0.0], [5.0]]))
+        assert lut.lookup(4.0, 99.0) == pytest.approx(2.0)
+
+
+class TestLookupGradients:
+    def test_gradient_matches_finite_difference(self):
+        lut, _ = make_bilinear(1.0, 2.0, -0.5, 0.3)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            q = rng.uniform(1.1, 8.9)
+            r = rng.uniform(0.6, 7.9)
+            _, dx, dy = lut.lookup_with_grad(q, r)
+            eps = 1e-6
+            fd_x = (lut.lookup(q + eps, r) - lut.lookup(q - eps, r)) / (2 * eps)
+            fd_y = (lut.lookup(q, r + eps) - lut.lookup(q, r - eps)) / (2 * eps)
+            assert dx == pytest.approx(fd_x, rel=1e-6, abs=1e-9)
+            assert dy == pytest.approx(fd_y, rel=1e-6, abs=1e-9)
+
+    def test_gradient_of_bilinear_is_exact(self):
+        a, b, c, d = 0.5, 1.5, -2.0, 0.4
+        lut, _ = make_bilinear(a, b, c, d)
+        q, r = 2.0, 1.0
+        _, dx, dy = lut.lookup_with_grad(q, r)
+        assert dx == pytest.approx(b + d * r)
+        assert dy == pytest.approx(c + d * q)
+
+
+class TestValidation:
+    def test_non_increasing_axis_rejected(self):
+        with pytest.raises(ValueError):
+            LUT(np.array([1.0, 1.0]), np.array([0.0, 1.0]), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            LUT(np.array([0.0, 1.0]), np.array([2.0, 1.0]), np.zeros((2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LUT(np.array([0.0, 1.0]), np.array([0.0, 1.0]), np.zeros((3, 2)))
+
+    def test_equality(self):
+        lut1, _ = make_bilinear(1.0, 2.0, 3.0, 0.0)
+        lut2, _ = make_bilinear(1.0, 2.0, 3.0, 0.0)
+        lut3, _ = make_bilinear(1.0, 2.0, 3.0, 0.5)
+        assert lut1 == lut2
+        assert lut1 != lut3
+
+    def test_repr_mentions_shape(self):
+        lut, _ = make_bilinear(0, 1, 1, 0)
+        assert "3, 3" in repr(lut) or "(3, 3)" in repr(lut)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    q=st.floats(min_value=-5.0, max_value=20.0),
+    r=st.floats(min_value=-5.0, max_value=20.0),
+)
+def test_in_range_queries_bounded_by_cell_corners(q, r):
+    """Inside the table, bilinear interpolation never over/undershoots."""
+    rng = np.random.default_rng(3)
+    x = np.array([0.0, 3.0, 7.0, 11.0])
+    y = np.array([0.0, 2.0, 5.0, 9.0])
+    values = rng.uniform(-10, 10, (4, 4))
+    lut = LUT(x, y, values)
+    if x[0] <= q <= x[-1] and y[0] <= r <= y[-1]:
+        out = lut.lookup(q, r)
+        assert values.min() - 1e-9 <= out <= values.max() + 1e-9

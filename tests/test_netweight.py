@@ -1,0 +1,99 @@
+"""Unit tests for the momentum net-weighting baseline [24]."""
+
+import numpy as np
+import pytest
+
+from repro.place.netweight import (
+    MomentumNetWeighter,
+    NetWeightingPlacer,
+    NetWeightOptions,
+)
+from repro.place import PlacerOptions
+
+
+class TestWeighter:
+    def test_inactive_before_start(self, small_design, spread_positions):
+        x, y = spread_positions
+        w = MomentumNetWeighter(small_design, NetWeightOptions(start_iteration=50))
+        assert w(0, x, y) is None
+        assert w(49, x, y) is None
+        assert w.n_sta_calls == 0
+
+    def test_period_respected(self, small_design, spread_positions):
+        x, y = spread_positions
+        w = MomentumNetWeighter(
+            small_design, NetWeightOptions(start_iteration=10, period=5)
+        )
+        assert w(10, x, y) is not None
+        assert w(11, x, y) is None
+        assert w(15, x, y) is not None
+        assert w.n_sta_calls == 2
+
+    def test_weights_grow_only_on_critical_nets(self, small_design, spread_positions):
+        x, y = spread_positions
+        w = MomentumNetWeighter(
+            small_design, NetWeightOptions(start_iteration=0, period=1)
+        )
+        weights = w(0, x, y)
+        assert weights is not None
+        assert (weights >= 1.0 - 1e-12).all()
+        # Nets with positive slack keep weight exactly 1.
+        from repro.sta import run_sta
+
+        res = run_sta(small_design, x, y)
+        slack = res.net_worst_slack()
+        positive = slack > 0
+        np.testing.assert_allclose(weights[positive], 1.0)
+        critical = slack < 0
+        assert weights[critical].max() > 1.0
+
+    def test_weights_bounded(self, small_design, spread_positions):
+        x, y = spread_positions
+        opts = NetWeightOptions(start_iteration=0, period=1, max_weight=4.0, alpha=5.0)
+        w = MomentumNetWeighter(small_design, opts)
+        for it in range(30):
+            weights = w(it, x, y)
+        assert weights.max() <= 4.0 + 1e-9
+
+    def test_momentum_smooths_updates(self, small_design, spread_positions):
+        x, y = spread_positions
+        fast = MomentumNetWeighter(
+            small_design, NetWeightOptions(start_iteration=0, period=1, beta=0.0)
+        )
+        slow = MomentumNetWeighter(
+            small_design, NetWeightOptions(start_iteration=0, period=1, beta=0.95)
+        )
+        wf = fast(0, x, y)
+        ws = slow(0, x, y)
+        # Lower momentum -> bigger first-step movement away from 1.
+        assert (wf - 1.0).max() > (ws - 1.0).max()
+
+    def test_records_last_metrics(self, small_design, spread_positions):
+        x, y = spread_positions
+        w = MomentumNetWeighter(small_design, NetWeightOptions(start_iteration=0))
+        w(0, x, y)
+        assert w.last_wns != 0.0
+        assert w.last_tns <= 0.0 or w.last_tns == 0.0
+
+
+class TestNetWeightingPlacer:
+    def test_end_to_end_improves_timing(self, medium_design):
+        from repro.place import GlobalPlacer
+        from repro.sta import run_sta
+
+        popts = PlacerOptions(max_iters=450, seed=0)
+        base = GlobalPlacer(medium_design, popts).run()
+        nw = NetWeightingPlacer(medium_design, popts).run()
+        rb = run_sta(medium_design, base.x, base.y)
+        rn = run_sta(medium_design, nw.x, nw.y)
+        # The net-weighting baseline should improve TNS over plain
+        # wirelength placement (that is its entire purpose).
+        assert rn.tns_setup > rb.tns_setup
+
+    def test_trace_contains_sta_metrics(self, medium_design):
+        popts = PlacerOptions(max_iters=200)
+        nw = NetWeightingPlacer(
+            medium_design, popts, NetWeightOptions(start_iteration=50)
+        )
+        result = nw.run()
+        assert any("wns" in t for t in result.trace)

@@ -1,0 +1,106 @@
+"""Unit tests for the batched LutBank against the scalar LUT reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.lut import LUT
+from repro.sta.nldm import LutBank
+
+
+def make_random_lut(rng, nx, ny):
+    x = np.sort(rng.uniform(0, 100, nx))
+    while len(np.unique(x)) < nx:
+        x = np.sort(rng.uniform(0, 100, nx))
+    y = np.sort(rng.uniform(0, 100, ny))
+    while len(np.unique(y)) < ny:
+        y = np.sort(rng.uniform(0, 100, ny))
+    return LUT(x, y, rng.uniform(-5, 5, (nx, ny)))
+
+
+class TestRegistration:
+    def test_dedup_by_identity(self):
+        bank = LutBank()
+        lut = LUT.constant(1.0)
+        assert bank.register(lut) == bank.register(lut)
+        assert len(bank) == 1
+
+    def test_distinct_objects_get_distinct_ids(self):
+        bank = LutBank()
+        assert bank.register(LUT.constant(1.0)) != bank.register(LUT.constant(1.0))
+
+    def test_register_after_finalize_rejected(self):
+        bank = LutBank()
+        bank.register(LUT.constant(1.0))
+        bank.finalize()
+        with pytest.raises(RuntimeError):
+            bank.register(LUT.constant(2.0))
+
+    def test_empty_bank_finalizes(self):
+        bank = LutBank()
+        bank.finalize()
+        assert len(bank) == 0
+
+
+class TestLookupAgainstScalar:
+    def test_mixed_sizes_match_scalar(self):
+        rng = np.random.default_rng(1)
+        bank = LutBank()
+        luts = [
+            make_random_lut(rng, 2, 2),
+            make_random_lut(rng, 7, 7),
+            make_random_lut(rng, 4, 6),
+            LUT.constant(3.25),
+            LUT(np.array([0.0]), np.array([0.0, 5.0]), np.array([[1.0, 2.0]])),
+        ]
+        ids = [bank.register(lut) for lut in luts]
+        bank.finalize()
+        queries_x = rng.uniform(-10, 120, 200)
+        queries_y = rng.uniform(-10, 120, 200)
+        which = rng.integers(0, len(luts), 200)
+        v, dx, dy = bank.lookup_with_grad(
+            np.array(ids)[which], queries_x, queries_y
+        )
+        for i in range(200):
+            lut = luts[which[i]]
+            ref_v, ref_dx, ref_dy = lut.lookup_with_grad(
+                queries_x[i], queries_y[i]
+            )
+            assert v[i] == pytest.approx(float(ref_v), rel=1e-12, abs=1e-12)
+            assert dx[i] == pytest.approx(float(ref_dx), rel=1e-12, abs=1e-12)
+            assert dy[i] == pytest.approx(float(ref_dy), rel=1e-12, abs=1e-12)
+
+    def test_broadcasting_scalar_ids(self):
+        rng = np.random.default_rng(2)
+        bank = LutBank()
+        lut = make_random_lut(rng, 3, 3)
+        lid = bank.register(lut)
+        bank.finalize()
+        xs = rng.uniform(0, 100, 10)
+        out = bank.lookup(lid, xs, 50.0)
+        assert out.shape == (10,)
+
+    def test_shape_preserved(self):
+        bank = LutBank()
+        lid = bank.register(LUT.constant(2.0))
+        bank.finalize()
+        out = bank.lookup(np.full((3, 4), lid), np.zeros((3, 4)), np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out, 2.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    qx=st.floats(min_value=-50, max_value=150),
+    qy=st.floats(min_value=-50, max_value=150),
+)
+def test_bank_equals_scalar_lut_property(seed, qx, qy):
+    rng = np.random.default_rng(seed)
+    lut = make_random_lut(rng, int(rng.integers(2, 8)), int(rng.integers(2, 8)))
+    bank = LutBank()
+    lid = bank.register(lut)
+    bank.finalize()
+    v = bank.lookup(np.array([lid]), np.array([qx]), np.array([qy]))[0]
+    assert v == pytest.approx(float(lut.lookup(qx, qy)), rel=1e-10, abs=1e-10)

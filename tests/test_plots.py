@@ -1,0 +1,61 @@
+"""Tests for the SVG plot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.harness import curves_svg, placement_svg, save_svg
+
+
+class TestPlacementSvg:
+    def test_valid_svg_with_all_cells(self, small_design):
+        svg = placement_svg(small_design)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        # One rect per cell plus die + background.
+        assert svg.count("<rect") >= small_design.n_cells
+
+    def test_highlight_color_present(self, small_design):
+        movable = np.nonzero(~small_design.cell_fixed)[0][:3]
+        svg = placement_svg(small_design, highlight=movable)
+        assert "#f57900" in svg
+
+    def test_sequential_cells_colored(self, small_design):
+        svg = placement_svg(small_design)
+        assert "#cc0000" in svg  # DFFs present in generated designs
+
+    def test_custom_positions_used(self, small_design, spread_positions):
+        x, y = spread_positions
+        svg1 = placement_svg(small_design)
+        svg2 = placement_svg(small_design, x, y)
+        assert svg1 != svg2
+
+
+class TestCurvesSvg:
+    def test_basic_plot(self):
+        xs = np.arange(10)
+        svg = curves_svg(
+            {"a": (xs, xs**2), "b": (xs, -xs)},
+            title="demo", ylabel="value",
+        )
+        assert "<polyline" in svg
+        assert svg.count("<polyline") == 2
+        assert "demo" in svg
+        assert "a" in svg and "b" in svg
+
+    def test_negative_values_handled(self):
+        xs = [0, 1, 2]
+        svg = curves_svg({"wns": (xs, [-100.0, -50.0, -75.0])})
+        assert "<polyline" in svg
+
+    def test_constant_series_handled(self):
+        svg = curves_svg({"flat": ([0, 1], [5.0, 5.0])})
+        assert "<polyline" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            curves_svg({"x": ([], [])})
+
+    def test_save(self, tmp_path, small_design):
+        path = save_svg(placement_svg(small_design), str(tmp_path / "p.svg"))
+        with open(path) as fh:
+            assert fh.read().startswith("<svg")

@@ -1,0 +1,100 @@
+"""Tests for slack-histogram reporting (the [34] view of timing quality)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import make_chain_design
+from repro.sta import (
+    format_histogram,
+    histogram_compression,
+    report_design,
+    run_sta,
+    slack_histogram,
+)
+
+
+@pytest.fixture(scope="module")
+def result(small_design, spread_positions):
+    x, y = spread_positions
+    return run_sta(small_design, x, y)
+
+
+class TestSlackHistogram:
+    def test_counts_cover_all_endpoints(self, result):
+        hist = slack_histogram(result)
+        assert hist.counts.sum() == hist.n_endpoints
+        assert hist.n_endpoints == len(result.endpoint_slack)
+
+    def test_wns_tns_consistent_with_sta(self, result):
+        hist = slack_histogram(result)
+        assert hist.wns == pytest.approx(result.wns_setup)
+        assert hist.tns == pytest.approx(result.tns_setup)
+
+    def test_violating_count(self, result):
+        hist = slack_histogram(result)
+        assert hist.n_violating == int((result.endpoint_slack < 0).sum())
+        assert 0 <= hist.violation_fraction <= 1
+
+    def test_edges_monotone(self, result):
+        hist = slack_histogram(result, n_bins=8)
+        assert len(hist.edges) == 9
+        assert (np.diff(hist.edges) > 0).all()
+
+    def test_clip_limits_positive_tail(self, result):
+        hist = slack_histogram(result, clip=0.0)
+        assert hist.edges[-1] == pytest.approx(0.0)
+        assert hist.counts.sum() == hist.n_endpoints
+
+    def test_all_positive_design(self):
+        d = make_chain_design(3, clock_period=100000.0)
+        hist = slack_histogram(run_sta(d))
+        assert hist.n_violating == 0
+        assert hist.tns == 0.0
+
+
+class TestFormatting:
+    def test_format_has_one_line_per_bin(self, result):
+        hist = slack_histogram(result, n_bins=10)
+        text = format_histogram(hist)
+        assert len(text.splitlines()) == 10 + 2
+
+    def test_report_contains_sections(self, result):
+        text = report_design(result)
+        assert "Timing report" in text
+        assert "WNS / TNS" in text
+        assert "worst endpoints:" in text
+        # Worst endpoint pin named.
+        worst = int(np.argmin(result.endpoint_slack))
+        pin = result.graph.design.pin_name[int(result.graph.endpoint_pins[worst])]
+        assert pin in text
+
+
+class TestCompression:
+    def test_identity_is_zero(self, result):
+        hist = slack_histogram(result)
+        assert histogram_compression(hist, hist) == pytest.approx(0.0)
+
+    def test_improvement_positive(self, result, small_design):
+        from dataclasses import replace
+
+        before = slack_histogram(result)
+        after = replace(before, tns=before.tns * 0.5)
+        assert histogram_compression(before, after) == pytest.approx(0.5)
+
+    def test_no_violations_before_gives_zero(self):
+        d = make_chain_design(3, clock_period=100000.0)
+        hist = slack_histogram(run_sta(d))
+        assert histogram_compression(hist, hist) == 0.0
+
+    def test_placer_compresses_histogram(self, medium_design):
+        from repro.core import TimingDrivenPlacer, TimingPlacerOptions
+        from repro.place import GlobalPlacer, PlacerOptions
+
+        popts = PlacerOptions(max_iters=450, seed=0)
+        base = GlobalPlacer(medium_design, popts).run()
+        ours = TimingDrivenPlacer(
+            medium_design, TimingPlacerOptions(placer=popts, sta_in_trace=False)
+        ).run()
+        h_base = slack_histogram(run_sta(medium_design, base.x, base.y))
+        h_ours = slack_histogram(run_sta(medium_design, ours.x, ours.y))
+        assert histogram_compression(h_base, h_ours) > 0

@@ -1,0 +1,101 @@
+"""Unit tests for the SDC subset parser/writer."""
+
+import pytest
+
+from repro.netlist import Constraints, SDCError, parse_sdc, write_sdc
+
+
+class TestParse:
+    def test_create_clock(self):
+        c = parse_sdc("create_clock -name clk -period 750 [get_ports clock]")
+        assert c.clock_period == 750.0
+        assert c.clock_port == "clock"
+
+    def test_input_output_delay(self):
+        text = (
+            "create_clock -name c -period 100 [get_ports clk]\n"
+            "set_input_delay 12.5 -clock c [get_ports in0]\n"
+            "set_output_delay 7 -clock c [get_ports out0]\n"
+        )
+        c = parse_sdc(text)
+        assert c.input_delay("in0") == 12.5
+        assert c.output_delay("out0") == 7.0
+
+    def test_port_lists_in_braces(self):
+        c = parse_sdc("set_input_delay 5 [get_ports {a b c}]")
+        assert c.input_delay("a") == c.input_delay("b") == c.input_delay("c") == 5.0
+
+    def test_transition_and_load(self):
+        text = (
+            "set_input_transition 30 [get_ports a]\n"
+            "set_load 6.5 [get_ports z]\n"
+        )
+        c = parse_sdc(text)
+        assert c.input_slew("a") == 30.0
+        assert c.output_load("z") == 6.5
+
+    def test_line_continuation_and_comments(self):
+        text = (
+            "# a comment\n"
+            "set_input_delay 5 \\\n"
+            "  [get_ports a]  # trailing\n"
+        )
+        c = parse_sdc(text)
+        assert c.input_delay("a") == 5.0
+
+    def test_all_inputs_requires_design(self):
+        with pytest.raises(SDCError, match="all_inputs"):
+            parse_sdc("set_input_delay 5 [all_inputs]")
+
+    def test_all_inputs_resolves_against_design(self, chain_design):
+        c = parse_sdc("set_input_delay 5 [all_inputs]", design=chain_design)
+        assert c.input_delay("in0") == 5.0
+        assert c.input_delay("clk") == 5.0  # all_inputs includes the clock port
+
+    def test_all_outputs_resolves_against_design(self, chain_design):
+        c = parse_sdc("set_load 3 [all_outputs]", design=chain_design)
+        assert c.output_load("out0") == 3.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SDCError, match="unsupported"):
+            parse_sdc("set_false_path -from x")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(SDCError):
+            parse_sdc("set_input_delay [get_ports a]")
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self):
+        c = Constraints(
+            clock_period=640.0,
+            clock_port="clk",
+            input_delays={"a": 5.0, "b": 6.25},
+            output_delays={"z": 3.0},
+            input_slews={"a": 22.0},
+            output_loads={"z": 4.5},
+        )
+        c2 = parse_sdc(write_sdc(c))
+        assert c2.clock_period == c.clock_period
+        assert c2.clock_port == c.clock_port
+        assert c2.input_delays == c.input_delays
+        assert c2.output_delays == c.output_delays
+        assert c2.input_slews == c.input_slews
+        assert c2.output_loads == c.output_loads
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.netlist import read_sdc_file, write_sdc_file
+
+        c = Constraints(clock_period=123.0, input_delays={"p": 1.0})
+        path = str(tmp_path / "c.sdc")
+        write_sdc_file(c, path)
+        c2 = read_sdc_file(path)
+        assert c2.clock_period == 123.0
+        assert c2.input_delay("p") == 1.0
+
+    def test_generated_design_constraints_roundtrip(self, small_design):
+        c = small_design.constraints
+        c2 = parse_sdc(write_sdc(c))
+        assert c2.clock_period == c.clock_period
+        assert c2.input_delays == pytest.approx(c.input_delays)
+        assert c2.output_loads == pytest.approx(c.output_loads)

@@ -1,0 +1,155 @@
+"""Unit tests for the structural Verilog reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import default_library
+from repro.netlist.verilog import (
+    VerilogError,
+    parse_verilog,
+    read_verilog_file,
+    write_verilog,
+    write_verilog_file,
+)
+
+SIMPLE = """
+// a tiny pipeline
+module top (a, b, clk, z);
+  input a, b, clk;
+  output z;
+  wire n1, n2;
+  NAND2_X1 u1 ( .A(a), .B(b), .Y(n1) );
+  DFF_X1 ff0 ( .D(n1), .CK(clk), .Q(n2) );
+  INV_X1 u2 ( .A(n2), .Y(z) );
+endmodule
+"""
+
+
+class TestParse:
+    def test_simple_module(self, library):
+        d = parse_verilog(SIMPLE, library)
+        assert d.name == "top"
+        assert d.n_cells == 4 + 3  # ports a,b,clk,z + 3 instances
+        assert d.n_nets == 6  # a, b, clk, n1, n2, z
+        ni = d.net_index("n1")
+        assert d.net_degree(ni) == 2
+
+    def test_clock_autodetected(self, library):
+        d = parse_verilog(SIMPLE, library)
+        assert d.constraints.clock_port == "clk"
+        clk_net = [ni for ni in range(d.n_nets) if d.net_is_clock[ni]]
+        assert len(clk_net) == 1
+
+    def test_block_comments_stripped(self, library):
+        text = SIMPLE.replace("// a tiny pipeline", "/* multi\nline */")
+        d = parse_verilog(text, library)
+        assert d.n_cells == 7
+
+    def test_unknown_cell_rejected(self, library):
+        text = SIMPLE.replace("NAND2_X1", "MYSTERY_GATE")
+        with pytest.raises(VerilogError, match="unknown cell"):
+            parse_verilog(text, library)
+
+    def test_unknown_pin_rejected(self, library):
+        text = SIMPLE.replace(".A(a)", ".QQ(a)")
+        with pytest.raises(KeyError):
+            parse_verilog(text, library)
+
+    def test_missing_module_rejected(self, library):
+        with pytest.raises(VerilogError, match="module"):
+            parse_verilog("wire x;", library)
+
+    def test_logic_assign_unsupported(self, library):
+        text = SIMPLE.replace(
+            "wire n1, n2;", "wire n1, n2;\n  assign z = n1 & n2;"
+        )
+        with pytest.raises(VerilogError, match="unsupported"):
+            parse_verilog(text, library)
+
+    def test_alias_assign_merges_nets(self, library):
+        text = (
+            "module t (a, z1, z2);\n"
+            "  input a;\n"
+            "  output z1, z2;\n"
+            "  wire w;\n"
+            "  assign z2 = w;\n"
+            "  INV_X1 u1 ( .A(a), .Y(w) );\n"
+            "  BUF_X1 u2 ( .A(w), .Y(z1) );\n"
+            "endmodule\n"
+        )
+        d = parse_verilog(text, library)
+        # w, u2/A and z2 are one electrical net.
+        p = d.pin_name.index("u1/Y")
+        ni = d.pin2net[p]
+        members = {d.pin_name[q] for q in d.net_pins(ni)}
+        assert members == {"u1/Y", "u2/A", "z2/I"}
+
+    def test_unconnected_port_allowed(self, library):
+        text = SIMPLE.replace(".B(b)", ".B()")
+        d = parse_verilog(text, library)
+        # b port exists but its net has only one pin -> dropped.
+        assert "b" in d.cell_name
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self, library):
+        d1 = parse_verilog(SIMPLE, library)
+        text = write_verilog(d1)
+        d2 = parse_verilog(text, library)
+        assert d2.n_cells == d1.n_cells
+        assert d2.n_pins == d1.n_pins
+        assert sorted(d2.cell_name) == sorted(d1.cell_name)
+
+    def test_generated_design_roundtrip(self, small_design):
+        text = write_verilog(small_design)
+        d2 = parse_verilog(
+            text,
+            small_design.library,
+            die=small_design.die,
+            constraints=small_design.constraints,
+        )
+        assert d2.n_cells == small_design.n_cells
+        assert d2.n_nets == small_design.n_nets
+        assert d2.n_pins == small_design.n_pins
+        # Connectivity equivalence: same pin set per net name.
+        for ni in range(small_design.n_nets):
+            name = small_design.net_name[ni]
+            pins1 = sorted(
+                small_design.pin_name[p] for p in small_design.net_pins(ni)
+            )
+            # Written net names are the original net names (or port names).
+            # Find the net in d2 containing the first pin.
+            p2 = d2.pin_name.index(pins1[0].replace("/O", "/O"))
+            ni2 = d2.pin2net[p2]
+            pins2 = sorted(d2.pin_name[p] for p in d2.net_pins(ni2))
+            assert pins1 == pins2
+
+    def test_timing_equivalence_after_roundtrip(self, small_design):
+        """STA on the round-tripped netlist at identical positions matches."""
+        from repro.sta import run_sta
+
+        text = write_verilog(small_design)
+        d2 = parse_verilog(
+            text,
+            small_design.library,
+            die=small_design.die,
+            constraints=small_design.constraints,
+        )
+        # Transfer positions by cell name.
+        x = d2.cell_x.copy()
+        y = d2.cell_y.copy()
+        for ci in range(small_design.n_cells):
+            j = d2.cell_index(small_design.cell_name[ci])
+            x[j] = small_design.cell_x[ci]
+            y[j] = small_design.cell_y[ci]
+        r1 = run_sta(small_design)
+        r2 = run_sta(d2, x, y)
+        assert r2.wns_setup == pytest.approx(r1.wns_setup, abs=1e-6)
+        assert r2.tns_setup == pytest.approx(r1.tns_setup, abs=1e-6)
+
+    def test_file_roundtrip(self, tmp_path, library):
+        d1 = parse_verilog(SIMPLE, library)
+        path = str(tmp_path / "t.v")
+        write_verilog_file(d1, path)
+        d2 = read_verilog_file(path, library)
+        assert d2.n_cells == d1.n_cells

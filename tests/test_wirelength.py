@@ -1,0 +1,99 @@
+"""Unit tests for HPWL and the weighted-average wirelength model."""
+
+import numpy as np
+import pytest
+
+from repro.place import WAWirelength, hpwl
+
+
+class TestHPWL:
+    def test_two_pin_net_manhattan_box(self, chain_design):
+        d = chain_design
+        val = hpwl(d)
+        assert val > 0
+        # Manual recomputation.
+        px, py = d.pin_positions()
+        manual = 0.0
+        for ni in range(d.n_nets):
+            pins = d.net_pins(ni)
+            manual += px[pins].max() - px[pins].min()
+            manual += py[pins].max() - py[pins].min()
+        assert val == pytest.approx(manual)
+
+    def test_net_weights_scale(self, chain_design):
+        d = chain_design
+        w = np.full(d.n_nets, 2.0)
+        assert hpwl(d, net_weights=w) == pytest.approx(2.0 * hpwl(d))
+
+    def test_translation_invariance(self, small_design):
+        d = small_design
+        base = hpwl(d)
+        shifted = hpwl(d, d.cell_x + 11.0, d.cell_y - 4.0)
+        assert shifted == pytest.approx(base)
+
+
+class TestWAWirelength:
+    def test_wa_lower_bounds_hpwl(self, small_design, spread_positions):
+        """WA-max underestimates max and WA-min overestimates min."""
+        d = small_design
+        x, y = spread_positions
+        wa = WAWirelength(d)
+        smooth, _, _ = wa.evaluate(x, y, gamma=2.0)
+        assert smooth <= hpwl(d, x, y) + 1e-9
+
+    def test_small_gamma_approaches_hpwl(self, small_design, spread_positions):
+        d = small_design
+        x, y = spread_positions
+        wa = WAWirelength(d)
+        smooth, _, _ = wa.evaluate(x, y, gamma=0.05)
+        assert smooth == pytest.approx(hpwl(d, x, y), rel=0.02)
+
+    def test_gradient_matches_finite_difference(self, small_design, spread_positions):
+        d = small_design
+        x, y = spread_positions
+        wa = WAWirelength(d)
+        _, gx, gy = wa.evaluate(x, y, gamma=2.0)
+        rng = np.random.default_rng(0)
+        movable = np.nonzero(~d.cell_fixed)[0]
+        eps = 1e-6
+        for ci in rng.choice(movable, 10, replace=False):
+            xp, xm = x.copy(), x.copy()
+            xp[ci] += eps
+            xm[ci] -= eps
+            fd = (
+                wa.evaluate(xp, y, 2.0)[0] - wa.evaluate(xm, y, 2.0)[0]
+            ) / (2 * eps)
+            assert gx[ci] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+
+    def test_weighted_gradient_scales(self, small_design, spread_positions):
+        d = small_design
+        x, y = spread_positions
+        wa = WAWirelength(d)
+        w = np.full(d.n_nets, 3.0)
+        _, gx1, gy1 = wa.evaluate(x, y, 2.0)
+        _, gx3, gy3 = wa.evaluate(x, y, 2.0, net_weights=w)
+        np.testing.assert_allclose(gx3, 3.0 * gx1, rtol=1e-12)
+        np.testing.assert_allclose(gy3, 3.0 * gy1, rtol=1e-12)
+
+    def test_gradient_sums_to_zero_per_axis(self, small_design, spread_positions):
+        """Wirelength is translation invariant, so gradients sum to ~0."""
+        d = small_design
+        x, y = spread_positions
+        wa = WAWirelength(d)
+        _, gx, gy = wa.evaluate(x, y, 2.0)
+        assert gx.sum() == pytest.approx(0.0, abs=1e-8)
+        assert gy.sum() == pytest.approx(0.0, abs=1e-8)
+
+    def test_gradient_pulls_outlier_inward(self, library):
+        from repro.netlist import DesignBuilder
+
+        b = DesignBuilder("pair", library, die=(0, 0, 100, 20))
+        b.add_input("clk", x=0, y=0)
+        b.add_input("a", x=0.0, y=10.0)
+        b.add_cell("u1", "INV_X1", x=90.0, y=10.0)
+        b.add_net("n", ["a", "u1/A"])
+        d = b.build()
+        wa = WAWirelength(d)
+        _, gx, _ = wa.evaluate(d.cell_x, d.cell_y, 1.0)
+        u1 = d.cell_index("u1")
+        assert gx[u1] > 0  # moving right increases wirelength
