@@ -17,10 +17,20 @@ Subpackages
 - ``repro.place``: nonlinear global placement substrate, net-weighting
   baseline, legalization.
 - ``repro.harness``: benchmark suite and experiment reproduction.
+- ``repro.perf``: per-stage wall-time instrumentation of the hot paths.
 """
 
 __version__ = "1.0.0"
 
-from . import core, harness, netlist, place, route, sta
+from . import core, harness, netlist, perf, place, route, sta
 
-__all__ = ["core", "harness", "netlist", "place", "route", "sta", "__version__"]
+__all__ = [
+    "core",
+    "harness",
+    "netlist",
+    "perf",
+    "place",
+    "route",
+    "sta",
+    "__version__",
+]

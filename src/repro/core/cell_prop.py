@@ -24,9 +24,19 @@ import numpy as np
 from ..sta.nldm import LutBank
 from .smoothing import segment_lse_max
 
-__all__ = ["cell_forward_level", "cell_backward_level"]
+__all__ = [
+    "SLEW_CLIP_MAX",
+    "cell_forward_level",
+    "cell_backward_level",
+    "cell_forward_exact",
+]
 
 _SENTINEL = -1e30
+
+#: Upper bound applied to slews before LUT queries.  Unreached fan-ins
+#: carry sentinel values, so queries are clamped to the LUT's sane range;
+#: where the clamp is active the slew derivative of the lookup is zero.
+SLEW_CLIP_MAX = 1e6
 
 
 def cell_forward_level(
@@ -57,10 +67,18 @@ def cell_forward_level(
     """
     s, d = src[sl], dst[sl]
     ti, to = tin[sl], tout[sl]
-    slew_in = np.clip(slew[s, ti], 0.0, 1e6)
+    slew_raw = slew[s, ti]
+    slew_in = np.clip(slew_raw, 0.0, SLEW_CLIP_MAX)
     load = driver_load[d]
     delay, dd_ds, dd_dl = lutbank.lookup_with_grad(lut_delay[sl], slew_in, load)
     out_slew, ds_ds, ds_dl = lutbank.lookup_with_grad(lut_slew[sl], slew_in, load)
+    # Where the clip is active the lookup sees a constant slew, so the
+    # recorded slew-derivatives must vanish (else backward disagrees with
+    # finite differences of the clipped forward).
+    clipped = (slew_raw < 0.0) | (slew_raw > SLEW_CLIP_MAX)
+    if np.any(clipped):
+        dd_ds = np.where(clipped, 0.0, dd_ds)
+        ds_ds = np.where(clipped, 0.0, ds_ds)
 
     at_cand = at[s, ti] + delay
     tape_at_cand[sl] = at_cand
@@ -130,3 +148,37 @@ def cell_backward_level(
         d,
         g_cand_at * tape_dd_dload[sl] + g_cand_slew * tape_ds_dload[sl],
     )
+
+
+def cell_forward_exact(
+    idx: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    tin: np.ndarray,
+    tout: np.ndarray,
+    lut_delay: np.ndarray,
+    lut_slew: np.ndarray,
+    lutbank: LutBank,
+    driver_load: np.ndarray,
+    at: np.ndarray,
+    slew: np.ndarray,
+) -> None:
+    """Exact (hard-max) cell propagation over a batch of contributions.
+
+    The non-smoothed sibling of :func:`cell_forward_level`, shared by the
+    incremental engine's level sweep: ``idx`` selects any subset of the
+    graph's contribution table whose sink pins all sit on one level, and
+    the sinks' ``at``/``slew`` rows are recomputed from scratch with hard
+    maxima (late mode).  Callers must pre-reset the sink rows to the
+    ``-inf`` sentinel / zero slew before the call, since the kernel only
+    scatter-maxes candidate values into them.
+    """
+    s, d = src[idx], dst[idx]
+    ti, to = tin[idx], tout[idx]
+    slew_in = np.clip(slew[s, ti], 0.0, SLEW_CLIP_MAX)
+    load = driver_load[d]
+    delay = lutbank.lookup(lut_delay[idx], slew_in, load)
+    out_slew = lutbank.lookup(lut_slew[idx], slew_in, load)
+    seg = d * 2 + to
+    np.maximum.at(at.reshape(-1), seg, at[s, ti] + delay)
+    np.maximum.at(slew.reshape(-1), seg, out_slew)

@@ -36,8 +36,9 @@ from ..sta.elmore import (
     elmore_forward,
     node_caps,
 )
+from ..perf import PROFILER
 from ..sta.graph import TimingGraph
-from .cell_prop import cell_backward_level, cell_forward_level
+from .cell_prop import SLEW_CLIP_MAX, cell_backward_level, cell_forward_level
 from .elmore_grad import elmore_backward
 from .net_prop import net_backward_level, net_forward_level
 from .smoothing import lse_min, soft_clamp_neg, soft_clamp_neg_grad
@@ -116,10 +117,11 @@ class DifferentiableTimer:
         if forest is None:
             forest = build_forest(design, x, y)
 
-        px, py = design.pin_positions(x, y)
-        nx, ny = forest.node_coords(px, py)
-        caps = node_caps(forest, design.pin_cap, graph.extra_pin_cap)
-        elm = elmore_forward(forest, nx, ny, caps, design.library.wire)
+        with PROFILER.stage("difftimer.forward.elmore"):
+            px, py = design.pin_positions(x, y)
+            nx, ny = forest.node_coords(px, py)
+            caps = node_caps(forest, design.pin_cap, graph.extra_pin_cap)
+            elm = elmore_forward(forest, nx, ny, caps, design.library.wire)
 
         n_pins = design.n_pins
         net_delay = np.zeros(n_pins)
@@ -161,47 +163,63 @@ class DifferentiableTimer:
             wns=0.0,
         )
 
-        for level in range(1, graph.n_levels):
-            sl = graph.net_arcs.level_slice(level)
-            if sl.stop > sl.start:
-                net_forward_level(
-                    graph.net_sink[sl], graph.net_src[sl],
-                    net_delay, impulse2, at, slew,
-                )
-            sl = graph.cell_arcs.level_slice(level)
-            if sl.stop > sl.start:
-                cell_forward_level(
-                    sl, graph.c_src, graph.c_dst, graph.c_tin, graph.c_tout,
-                    graph.c_lut_delay, graph.c_lut_slew, graph.lutbank,
-                    driver_load, gamma, at, slew,
-                    tape.at_cand, tape.slew_cand,
-                    tape.dd_dslew, tape.dd_dload,
-                    tape.ds_dslew, tape.ds_dload,
-                )
+        with PROFILER.stage("difftimer.forward.levels"):
+            for level in range(1, graph.n_levels):
+                sl = graph.net_arcs.level_slice(level)
+                if sl.stop > sl.start:
+                    with PROFILER.stage("difftimer.forward.net_level"):
+                        net_forward_level(
+                            graph.net_sink[sl], graph.net_src[sl],
+                            net_delay, impulse2, at, slew,
+                        )
+                sl = graph.cell_arcs.level_slice(level)
+                if sl.stop > sl.start:
+                    with PROFILER.stage("difftimer.forward.cell_level"):
+                        cell_forward_level(
+                            sl, graph.c_src, graph.c_dst,
+                            graph.c_tin, graph.c_tout,
+                            graph.c_lut_delay, graph.c_lut_slew, graph.lutbank,
+                            driver_load, gamma, at, slew,
+                            tape.at_cand, tape.slew_cand,
+                            tape.dd_dslew, tape.dd_dload,
+                            tape.ds_dslew, tape.ds_dload,
+                        )
 
         # ------------------------------------------------------------------
         # Endpoint slacks, smoothed TNS/WNS.
         # ------------------------------------------------------------------
-        period = design.constraints.clock_period
-        n_setup = len(graph.setup_d)
-        rat = np.zeros((graph.n_endpoints, 2))
-        if n_setup:
-            for t in (RISE, FALL):
-                setup_time, dsu_ds, _ = graph.lutbank.lookup_with_grad(
-                    graph.setup_lut[:, t],
-                    np.clip(slew[graph.setup_d, t], 0.0, 1e6),
-                    np.full(n_setup, graph.clock_slew),
-                )
-                rat[:n_setup, t] = period - setup_time
-                tape.setup_dsetup_dslew[:, t] = dsu_ds
-        if len(graph.po_pins):
-            rat[n_setup:] = (period - graph.po_output_delay)[:, None]
+        with PROFILER.stage("difftimer.forward.endpoints"):
+            period = design.constraints.clock_period
+            n_setup = len(graph.setup_d)
+            rat = np.zeros((graph.n_endpoints, 2))
+            if n_setup:
+                for t in (RISE, FALL):
+                    slew_raw = slew[graph.setup_d, t]
+                    setup_time, dsu_ds, _ = graph.lutbank.lookup_with_grad(
+                        graph.setup_lut[:, t],
+                        np.clip(slew_raw, 0.0, SLEW_CLIP_MAX),
+                        np.full(n_setup, graph.clock_slew),
+                    )
+                    rat[:n_setup, t] = period - setup_time
+                    # Active clips make the lookup constant in slew.
+                    clipped = (slew_raw < 0.0) | (slew_raw > SLEW_CLIP_MAX)
+                    tape.setup_dsetup_dslew[:, t] = np.where(
+                        clipped, 0.0, dsu_ds
+                    )
+            if len(graph.po_pins):
+                rat[n_setup:] = (period - graph.po_output_delay)[:, None]
 
-        tape.ep_slack_t = rat - at[graph.endpoint_pins]
-        # Softmin across the two transitions per endpoint.
-        tape.ep_slack = lse_min(tape.ep_slack_t, gamma, axis=1)
-        tape.tns = float(soft_clamp_neg(tape.ep_slack, gamma).sum())
-        tape.wns = float(lse_min(tape.ep_slack, gamma))
+            tape.ep_slack_t = rat - at[graph.endpoint_pins]
+            # Softmin across the two transitions per endpoint.
+            tape.ep_slack = lse_min(tape.ep_slack_t, gamma, axis=1)
+            if graph.n_endpoints:
+                tape.tns = float(soft_clamp_neg(tape.ep_slack, gamma).sum())
+                tape.wns = float(lse_min(tape.ep_slack, gamma))
+            else:
+                # No setup checks or output ports: timing is trivially met
+                # (lse_min over an empty array would raise).
+                tape.tns = 0.0
+                tape.wns = 0.0
         return tape
 
     # ------------------------------------------------------------------
@@ -224,7 +242,10 @@ class DifferentiableTimer:
         n_pins = design.n_pins
         at, slew = tape.at, tape.slew
 
-        # Seeds: d objective / d endpoint slack.
+        # Seeds: d objective / d endpoint slack.  With no endpoints the
+        # objective is constant and the gradient is identically zero; the
+        # empty seeds below propagate that without special cases, but we
+        # still guard the softmin weights against empty reductions.
         g_sep = d_tns * soft_clamp_neg_grad(tape.ep_slack, gamma)
         if d_wns != 0.0 and tape.ep_slack.size:
             w_ep = np.exp(
@@ -247,7 +268,10 @@ class DifferentiableTimer:
 
         # slack = rat - at;  for setup endpoints rat = T - setup(slew_D).
         ep = graph.endpoint_pins
-        np.add.at(g_at, (ep[:, None], np.array([[RISE, FALL]])), -g_slack_t)
+        if len(ep):
+            np.add.at(
+                g_at, (ep[:, None], np.array([[RISE, FALL]])), -g_slack_t
+            )
         n_setup = len(graph.setup_d)
         if n_setup:
             np.add.at(
@@ -256,23 +280,27 @@ class DifferentiableTimer:
                 -g_slack_t[:n_setup] * tape.setup_dsetup_dslew,
             )
 
-        for level in range(graph.n_levels - 1, 0, -1):
-            sl = graph.cell_arcs.level_slice(level)
-            if sl.stop > sl.start:
-                cell_backward_level(
-                    sl, graph.c_src, graph.c_dst, graph.c_tin, graph.c_tout,
-                    gamma, at, slew,
-                    tape.at_cand, tape.slew_cand,
-                    tape.dd_dslew, tape.dd_dload,
-                    tape.ds_dslew, tape.ds_dload,
-                    g_at, g_slew, g_load,
-                )
-            sl = graph.net_arcs.level_slice(level)
-            if sl.stop > sl.start:
-                net_backward_level(
-                    graph.net_sink[sl], graph.net_src[sl],
-                    slew, g_at, g_slew, g_net_delay, g_impulse2,
-                )
+        with PROFILER.stage("difftimer.backward.levels"):
+            for level in range(graph.n_levels - 1, 0, -1):
+                sl = graph.cell_arcs.level_slice(level)
+                if sl.stop > sl.start:
+                    with PROFILER.stage("difftimer.backward.cell_level"):
+                        cell_backward_level(
+                            sl, graph.c_src, graph.c_dst,
+                            graph.c_tin, graph.c_tout,
+                            gamma, at, slew,
+                            tape.at_cand, tape.slew_cand,
+                            tape.dd_dslew, tape.dd_dload,
+                            tape.ds_dslew, tape.ds_dload,
+                            g_at, g_slew, g_load,
+                        )
+                sl = graph.net_arcs.level_slice(level)
+                if sl.stop > sl.start:
+                    with PROFILER.stage("difftimer.backward.net_level"):
+                        net_backward_level(
+                            graph.net_sink[sl], graph.net_src[sl],
+                            slew, g_at, g_slew, g_net_delay, g_impulse2,
+                        )
 
         # Map per-pin gradients onto forest nodes and run Elmore backward.
         forest = tape.forest
@@ -300,11 +328,12 @@ class DifferentiableTimer:
         else:
             g_delay_ext[mask] = g_net_delay[pins]
 
-        g_nx, g_ny = elmore_backward(
-            forest, tape.elmore, design.library.wire,
-            g_delay_ext, g_imp2_ext, g_load_ext, g_beta_ext,
-        )
-        g_px, g_py = forest.scatter_coord_grad(g_nx, g_ny)
+        with PROFILER.stage("difftimer.backward.elmore"):
+            g_nx, g_ny = elmore_backward(
+                forest, tape.elmore, design.library.wire,
+                g_delay_ext, g_imp2_ext, g_load_ext, g_beta_ext,
+            )
+            g_px, g_py = forest.scatter_coord_grad(g_nx, g_ny)
 
         # Pins move rigidly with their cells.
         g_cx = np.zeros(design.n_cells)

@@ -35,6 +35,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--fig8", action="store_true", help="also collect Figure 8 curves"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-kernel wall-time breakdowns and dump them to "
+        "benchmarks/results/profile_<design>_<mode>.txt",
+    )
     args = parser.parse_args(argv)
 
     print("Table 2 - benchmark statistics")
@@ -45,7 +51,9 @@ def main(argv=None) -> int:
     if designs is None and not args.full:
         designs = ["miniblue4", "miniblue16", "miniblue18"]
     print("Table 3 - WNS/TNS/HPWL/runtime")
-    result = run_table3(designs=designs, max_iters=args.max_iters)
+    result = run_table3(
+        designs=designs, max_iters=args.max_iters, profile=args.profile
+    )
     print()
     print(format_table3(result))
 

@@ -7,6 +7,7 @@ placement itself, and the per-iteration trace for curve plots.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -16,11 +17,15 @@ import numpy as np
 from ..core.objective import TimingObjectiveOptions
 from ..core.timing_placer import TimingDrivenPlacer, TimingPlacerOptions
 from ..netlist.design import Design
+from ..perf import PROFILER
 from ..place.netweight import NetWeightingPlacer, NetWeightOptions
 from ..place.placer import GlobalPlacer, PlacerOptions, PlacerResult
 from ..sta.analysis import run_sta
 
-__all__ = ["MODES", "RunRecord", "run_mode"]
+__all__ = ["MODES", "RunRecord", "run_mode", "PROFILE_DIR"]
+
+#: Default destination of ``--profile`` breakdowns (relative to the cwd).
+PROFILE_DIR = os.path.join("benchmarks", "results")
 
 #: The three placers of Table 3.
 MODES = ("dreamplace", "netweight", "ours")
@@ -41,6 +46,8 @@ class RunRecord:
     x: np.ndarray
     y: np.ndarray
     trace: List[Dict[str, float]] = field(default_factory=list)
+    #: Per-kernel profiler stats of the run (``--profile`` only).
+    profile: Optional[Dict[str, Dict[str, float]]] = None
 
     def summary(self) -> str:
         return (
@@ -57,18 +64,31 @@ def run_mode(
     timing_options: Optional[TimingObjectiveOptions] = None,
     nw_options: Optional[NetWeightOptions] = None,
     with_trace_sta: bool = False,
+    profile: bool = False,
+    profile_dir: Optional[str] = None,
 ) -> RunRecord:
     """Run one of the three Table 3 placers on a design.
 
     ``with_trace_sta`` adds periodic golden-STA samples to the trace (for
     Figure 8 curves); it is excluded from the reported runtime, which is
     re-measured around the placement call only.
+
+    ``profile=True`` turns the shared :data:`repro.perf.PROFILER` on for
+    the duration of the run and dumps the per-kernel breakdown to
+    ``<profile_dir>/profile_<design>_<mode>.txt`` (default
+    ``benchmarks/results/``); the stats dict is also attached to the
+    returned record.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
     popts = placer_options if placer_options is not None else PlacerOptions(
         max_iters=600
     )
+
+    was_enabled = PROFILER.enabled
+    if profile:
+        PROFILER.reset()
+        PROFILER.enable()
 
     start = time.perf_counter()
     if mode == "dreamplace":
@@ -89,6 +109,18 @@ def run_mode(
         result = TimingDrivenPlacer(design, tp_options).run()
     runtime = time.perf_counter() - start
 
+    stats = None
+    if profile:
+        stats = PROFILER.stats()
+        out_dir = profile_dir if profile_dir is not None else PROFILE_DIR
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"profile_{design.name}_{mode}.txt")
+        with open(path, "w") as handle:
+            handle.write(
+                PROFILER.report(f"{design.name} / {mode}") + "\n"
+            )
+        PROFILER.enabled = was_enabled
+
     final = run_sta(design, result.x, result.y)
     return RunRecord(
         design=design.name,
@@ -102,6 +134,7 @@ def run_mode(
         x=result.x,
         y=result.y,
         trace=result.trace,
+        profile=stats,
     )
 
 

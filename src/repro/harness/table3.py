@@ -43,15 +43,22 @@ def run_table3(
     modes: Sequence[str] = MODES,
     max_iters: int = 600,
     verbose: bool = True,
+    profile: bool = False,
 ) -> Table3Result:
-    """Run the full (designs x modes) comparison matrix."""
+    """Run the full (designs x modes) comparison matrix.
+
+    ``profile=True`` dumps a per-kernel timing breakdown per (design,
+    mode) run into ``benchmarks/results/`` (see :func:`run_mode`).
+    """
     names = list(designs) if designs is not None else [e.name for e in SUITE]
     result = Table3Result()
     for name in names:
         design = load_design(name) if isinstance(name, str) else name
         for mode in modes:
             record = run_mode(
-                design, mode, placer_options=PlacerOptions(max_iters=max_iters)
+                design, mode,
+                placer_options=PlacerOptions(max_iters=max_iters),
+                profile=profile,
             )
             result.add(record)
             if verbose:

@@ -1,0 +1,134 @@
+"""Lightweight per-stage instrumentation for the timing hot paths.
+
+Every kernel stage of the differentiable timer, the golden routing pass
+and the incremental engine is wrapped in a named :meth:`Timer.stage`
+context.  When profiling is off (the default) the context manager is a
+shared no-op singleton, so the overhead on the hot path is a single
+attribute check per stage.  When on, each stage accumulates wall-clock
+time and an invocation counter, queryable as a plain dict via
+:meth:`Timer.stats` or rendered as a table via :meth:`Timer.report`.
+
+Profiling is enabled either explicitly (``Timer(enabled=True)``,
+``PROFILER.enable()``, the harness ``--profile`` flag) or globally via the
+``REPRO_PROFILE`` environment variable (any non-empty value other than
+``0``/``false``/``off``).  Library code shares the module-level
+:data:`PROFILER` instance so one switch captures every layer of a run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+__all__ = ["Timer", "PROFILER", "get_profiler", "profile_enabled_by_env"]
+
+
+def profile_enabled_by_env() -> bool:
+    """True when the ``REPRO_PROFILE`` environment variable turns us on."""
+    value = os.environ.get("REPRO_PROFILE", "")
+    return value.lower() not in ("", "0", "false", "off")
+
+
+class _NullStage:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_STAGE = _NullStage()
+
+
+class _Stage:
+    """Times one ``with`` block and accumulates into its timer."""
+
+    __slots__ = ("_timer", "_name", "_t0")
+
+    def __init__(self, timer: "Timer", name: str) -> None:
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._timer.add(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+class Timer:
+    """Per-stage wall-time accumulator with invocation counters."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled) or profile_enabled_by_env()
+        self._total: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all accumulated stage data (the on/off state is kept)."""
+        self._total.clear()
+        self._calls.clear()
+
+    # ------------------------------------------------------------------
+    def stage(self, name: str):
+        """Context manager timing one named stage (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_STAGE
+        return _Stage(self, name)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record ``seconds`` of wall time against ``name`` directly."""
+        self._total[name] = self._total.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + calls
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot: ``{stage: {calls, total_s, mean_s}}``."""
+        return {
+            name: {
+                "calls": self._calls[name],
+                "total_s": self._total[name],
+                "mean_s": self._total[name] / max(self._calls[name], 1),
+            }
+            for name in self._total
+        }
+
+    def report(self, title: str = "per-kernel breakdown") -> str:
+        """Render the accumulated stages as an aligned text table."""
+        stats = self.stats()
+        lines = [
+            f"# {title}",
+            f"{'stage':<32} {'calls':>8} {'total(s)':>10} {'mean(ms)':>10}",
+        ]
+        for name in sorted(stats, key=lambda n: -stats[n]["total_s"]):
+            s = stats[name]
+            lines.append(
+                f"{name:<32} {s['calls']:>8d} {s['total_s']:>10.4f} "
+                f"{1e3 * s['mean_s']:>10.4f}"
+            )
+        if not stats:
+            lines.append("(no stages recorded)")
+        return "\n".join(lines)
+
+
+#: Shared default profiler; library hot paths time against this instance.
+PROFILER = Timer()
+
+
+def get_profiler() -> Timer:
+    """The module-level shared :class:`Timer`."""
+    return PROFILER

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.design import Design
+from ..perf import PROFILER
 from .tree import Forest, RoutingTree
 
 __all__ = ["build_rsmt", "build_trees", "build_forest", "rmst_length"]
@@ -395,5 +396,6 @@ def build_forest(
     **kwargs,
 ) -> Forest:
     """Convenience wrapper: route every timing net and flatten to a Forest."""
-    trees = build_trees(design, cell_x, cell_y, **kwargs)
-    return Forest(trees, design.n_pins)
+    with PROFILER.stage("route.build_forest"):
+        trees = build_trees(design, cell_x, cell_y, **kwargs)
+        return Forest(trees, design.n_pins)

@@ -1,7 +1,7 @@
 """Golden static timing analysis: graph, Elmore, NLDM, analysis, paths."""
 
 from .nldm import LutBank
-from .graph import LevelizedArcs, TimingGraph
+from .graph import LevelizedArcs, TimingGraph, levelize
 from .elmore import ElmoreResult, elmore_forward, node_caps
 from .analysis import STAResult, StaticTimingAnalyzer, run_sta
 from .paths import TimingPath, extract_path, format_path, worst_paths
@@ -19,6 +19,7 @@ __all__ = [
     "LutBank",
     "LevelizedArcs",
     "TimingGraph",
+    "levelize",
     "ElmoreResult",
     "elmore_forward",
     "node_caps",

@@ -25,7 +25,53 @@ from ..netlist.design import Design, PORT_IN_TYPE, PORT_OUT_TYPE
 from ..netlist.library import ArcKind, FALL, RISE
 from .nldm import LutBank
 
-__all__ = ["TimingGraph", "LevelizedArcs"]
+__all__ = ["TimingGraph", "LevelizedArcs", "levelize"]
+
+
+def levelize(
+    edges_src: np.ndarray, edges_dst: np.ndarray, n_pins: int
+) -> np.ndarray:
+    """Longest-path levels of a pin DAG via wave-vectorised Kahn sweep.
+
+    One whole frontier wave is processed per iteration: the frontier's
+    out-edges are gathered from a CSR table in a single batch, sink levels
+    are raised with a scatter-max and in-degrees are decremented with one
+    bincount per wave.  Raises :class:`ValueError` when the edge set has a
+    cycle (some pins never become ready).
+    """
+    level = np.zeros(n_pins, dtype=np.int64)
+    indegree = np.bincount(edges_dst, minlength=n_pins)
+    frontier = np.nonzero(indegree == 0)[0]
+    remaining = indegree.copy()
+    order_dst = np.argsort(edges_src, kind="stable") if len(edges_src) else None
+    dst_sorted = edges_dst[order_dst] if order_dst is not None else edges_dst
+    out_start = np.zeros(n_pins + 1, dtype=np.int64)
+    if len(edges_src):
+        np.cumsum(np.bincount(edges_src, minlength=n_pins), out=out_start[1:])
+    visited = 0
+    while len(frontier):
+        visited += len(frontier)
+        starts = out_start[frontier]
+        counts = out_start[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # CSR multi-gather: edge index = start of its frontier pin plus
+        # the running offset within that pin's out-edge run.
+        ends = np.cumsum(counts)
+        offsets = np.arange(total) - np.repeat(ends - counts, counts)
+        edge_idx = np.repeat(starts, counts) + offsets
+        sinks = dst_sorted[edge_idx]
+        np.maximum.at(level, sinks, np.repeat(level[frontier] + 1, counts))
+        remaining -= np.bincount(sinks, minlength=n_pins)
+        candidates = np.unique(sinks)
+        frontier = candidates[remaining[candidates] == 0]
+    if visited != n_pins:
+        raise ValueError(
+            "timing graph has a combinational cycle "
+            f"({n_pins - visited} pins unreachable)"
+        )
+    return level
 
 
 @dataclass
@@ -150,38 +196,12 @@ class TimingGraph:
         if len(edges_src):
             pairs = np.unique(np.stack([edges_src, edges_dst], axis=1), axis=0)
             edges_src, edges_dst = pairs[:, 0], pairs[:, 1]
-        level = np.zeros(n_pins, dtype=np.int64)
-        indegree = np.bincount(edges_dst, minlength=n_pins)
-        # Kahn's algorithm with per-wave vectorised updates.
-        frontier = np.nonzero(indegree == 0)[0]
-        remaining = indegree.copy()
-        order_dst = np.argsort(edges_src, kind="stable") if len(edges_src) else None
-        src_sorted = edges_src[order_dst] if order_dst is not None else edges_src
-        dst_sorted = edges_dst[order_dst] if order_dst is not None else edges_dst
-        out_start = np.zeros(n_pins + 1, dtype=np.int64)
-        if len(src_sorted):
-            np.cumsum(np.bincount(src_sorted, minlength=n_pins), out=out_start[1:])
-        visited = 0
-        while len(frontier):
-            visited += len(frontier)
-            next_set: List[int] = []
-            for u in frontier:
-                for k in range(out_start[u], out_start[u + 1]):
-                    v = dst_sorted[k]
-                    level[v] = max(level[v], level[u] + 1)
-                    remaining[v] -= 1
-                    if remaining[v] == 0:
-                        next_set.append(v)
-            frontier = np.array(next_set, dtype=np.int64)
-        if visited != n_pins:
-            raise ValueError(
-                "timing graph has a combinational cycle "
-                f"({n_pins - visited} pins unreachable)"
-            )
+        level = levelize(edges_src, edges_dst, n_pins)
         self.level = level
         self.n_levels = int(level.max()) + 1 if n_pins else 1
 
         # Start points: pins with no incoming propagation arc.
+        indegree = np.bincount(edges_dst, minlength=n_pins)
         self.start_pins = np.nonzero(indegree == 0)[0]
 
         # ------------------------------------------------------------------

@@ -10,9 +10,10 @@ timing state and, per move:
    passes (a mini-forest of just those trees);
 2. seeds a dirty set with the affected sink pins and driver pins (whose
    cell-arc delays depend on the changed load);
-3. sweeps the affected cone level by level, recomputing each dirty pin
-   from *all* of its fan-ins and early-terminating when a pin's arrival
-   time and slew settle;
+3. sweeps the affected cone level by level, recomputing all dirty pins of
+   a level in one batch (replaying the levelised net/cell kernels shared
+   with :mod:`repro.core`) and early-terminating the fan-out of pins
+   whose arrival time and slew settle;
 4. refreshes the slacks of affected endpoints and the running WNS/TNS.
 
 Moves are symmetric: to reject a trial move, move the cells back - the
@@ -27,8 +28,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..core.cell_prop import SLEW_CLIP_MAX, cell_forward_exact
+from ..core.net_prop import net_forward_level
 from ..netlist.design import Design
 from ..netlist.library import FALL, RISE
+from ..perf import PROFILER
 from ..route.rsmt import build_rsmt
 from ..route.tree import Forest, RoutingTree
 from .analysis import StaticTimingAnalyzer
@@ -38,6 +42,7 @@ from .graph import TimingGraph
 __all__ = ["IncrementalTimer"]
 
 _EPS = 1e-9
+_AT_SENTINEL = -1e30
 
 
 class IncrementalTimer:
@@ -88,6 +93,19 @@ class IncrementalTimer:
             int(p): k for k, p in enumerate(g.endpoint_pins)
         }
         self._setup_index = {int(p): k for k, p in enumerate(g.setup_d)}
+
+        # Array-valued mirrors of the endpoint dicts, so the batched sweep
+        # can classify whole pin vectors without Python-level lookups.
+        self._is_endpoint = np.zeros(n_pins, dtype=bool)
+        self._is_endpoint[g.endpoint_pins] = True
+        self._endpoint_idx_of_pin = np.full(n_pins, -1, dtype=np.int64)
+        self._endpoint_idx_of_pin[g.endpoint_pins] = np.arange(
+            len(g.endpoint_pins)
+        )
+        self._setup_idx_of_pin = np.full(n_pins, -1, dtype=np.int64)
+        self._setup_idx_of_pin[g.setup_d] = np.arange(len(g.setup_d))
+        self._po_idx_of_pin = np.full(n_pins, -1, dtype=np.int64)
+        self._po_idx_of_pin[g.po_pins] = np.arange(len(g.po_pins))
 
         self._sta = StaticTimingAnalyzer(design, self.graph)
         self.x: np.ndarray
@@ -172,6 +190,10 @@ class IncrementalTimer:
 
     # ------------------------------------------------------------------
     # Single-pin recompute (late mode, exact max merge)
+    #
+    # Scalar reference implementation of the batched level kernel in
+    # :meth:`_recompute_level`; kept for debugging and as the oracle the
+    # test-suite checks the vectorised sweep against.
     # ------------------------------------------------------------------
     def _recompute_pin(self, p: int) -> Tuple[np.ndarray, np.ndarray]:
         g = self.graph
@@ -244,7 +266,8 @@ class IncrementalTimer:
                 ni = design.pin2net[p]
                 if ni >= 0:
                     nets.add(int(ni))
-        affected_pins = self._reroute_nets(sorted(nets))
+        with PROFILER.stage("incremental.reroute"):
+            self._reroute_nets(sorted(nets))
 
         # Dirty pins: sinks of changed nets (net-arc values changed) and
         # drivers of changed nets (their input cell arcs see a new load).
@@ -258,36 +281,141 @@ class IncrementalTimer:
             if driver >= 0:
                 dirty.add(int(driver))
 
-        # Level-ordered worklist sweep over the affected cone.
-        levels_of = g.level
-        worklist: Dict[int, Set[int]] = {}
-        for p in dirty:
-            worklist.setdefault(int(levels_of[p]), set()).add(p)
-        touched_endpoints: Set[int] = set()
-        while worklist:
-            level = min(worklist)
-            pins = worklist.pop(level)
-            for p in sorted(pins):
-                self.n_pins_recomputed += 1
-                at, slew = self._recompute_pin(p)
-                changed = (
-                    np.abs(at - self.at[p]).max() > _EPS
-                    or np.abs(slew - self.slew[p]).max() > _EPS
-                )
-                if p in self._endpoint_index:
-                    touched_endpoints.add(p)
-                if not changed:
-                    continue
-                self.at[p] = at
-                self.slew[p] = slew
-                for k in range(self._out_start[p], self._out_start[p + 1]):
-                    q = int(self._out_dst[k])
-                    worklist.setdefault(int(levels_of[q]), set()).add(q)
-
-        for p in touched_endpoints:
-            self.ep_slack[self._endpoint_index[p]] = self._endpoint_slack(p)
+        with PROFILER.stage("incremental.sweep"):
+            touched_endpoints = self._sweep(
+                np.fromiter(dirty, dtype=np.int64, count=len(dirty))
+            )
+        with PROFILER.stage("incremental.endpoints"):
+            self._refresh_endpoint_slacks(touched_endpoints)
         self._refresh_totals()
         return self.wns, self.tns
+
+    # ------------------------------------------------------------------
+    # Batched level-ordered sweep
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _gather_csr(
+        starts: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Flat indices of the CSR runs ``starts[i] : starts[i]+counts[i]``."""
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64)
+        ends = np.cumsum(counts)
+        offsets = np.arange(total) - np.repeat(ends - counts, counts)
+        return np.repeat(starts, counts) + offsets
+
+    def _split_by_level(self, pins: np.ndarray) -> List[np.ndarray]:
+        """Partition a pin vector into per-level chunks (ascending level)."""
+        lv = self.graph.level[pins]
+        order = np.argsort(lv, kind="stable")
+        pins, lv = pins[order], lv[order]
+        bounds = np.nonzero(np.diff(lv))[0] + 1
+        return np.split(pins, bounds)
+
+    def _recompute_level(self, pins: np.ndarray) -> None:
+        """Recompute AT/slew of one level's dirty pins in a single batch.
+
+        Net-arc sinks replay the shared :func:`net_forward_level` kernel;
+        cell-arc sinks gather all of their fan-in contributions from the
+        CSR table and replay :func:`cell_forward_exact` (the hard-max
+        sibling of the differentiable timer's level kernel).  Start points
+        (no fan-in at all) keep their boundary values.
+        """
+        g = self.graph
+        srcs = self.fanin_net_src[pins]
+        net_mask = srcs >= 0
+        net_sinks = pins[net_mask]
+        if len(net_sinks):
+            net_forward_level(
+                net_sinks, srcs[net_mask],
+                self.net_delay, self.impulse2, self.at, self.slew,
+            )
+        cell_sinks = pins[~net_mask]
+        if len(cell_sinks):
+            starts = self._c_start[cell_sinks]
+            counts = self._c_start[cell_sinks + 1] - starts
+            cell_sinks = cell_sinks[counts > 0]
+            idx = self._c_order[
+                self._gather_csr(starts[counts > 0], counts[counts > 0])
+            ]
+            if len(cell_sinks):
+                # Exact recompute from *all* fan-ins: reset, scatter-max.
+                self.at[cell_sinks] = _AT_SENTINEL
+                self.slew[cell_sinks] = 0.0
+                cell_forward_exact(
+                    idx, g.c_src, g.c_dst, g.c_tin, g.c_tout,
+                    g.c_lut_delay, g.c_lut_slew, g.lutbank,
+                    self.driver_load, self.at, self.slew,
+                )
+
+    def _sweep(self, dirty: np.ndarray) -> np.ndarray:
+        """Level-ordered batched sweep of the affected cone.
+
+        Returns the endpoint pins whose slack needs refreshing.  Levels
+        strictly increase along propagation edges, so each level is
+        finalised in one batch before any of its fan-out levels runs.
+        """
+        worklist: Dict[int, List[np.ndarray]] = {}
+        if len(dirty):
+            for chunk in self._split_by_level(dirty):
+                worklist[int(self.graph.level[chunk[0]])] = [chunk]
+        touched: List[np.ndarray] = []
+        while worklist:
+            level = min(worklist)
+            pins = np.unique(np.concatenate(worklist.pop(level)))
+            self.n_pins_recomputed += len(pins)
+            old_at = self.at[pins].copy()
+            old_slew = self.slew[pins].copy()
+            self._recompute_level(pins)
+            touched.append(pins[self._is_endpoint[pins]])
+            changed = (
+                np.abs(self.at[pins] - old_at).max(axis=1) > _EPS
+            ) | (np.abs(self.slew[pins] - old_slew).max(axis=1) > _EPS)
+            changed_pins = pins[changed]
+            if not len(changed_pins):
+                continue
+            starts = self._out_start[changed_pins]
+            counts = self._out_start[changed_pins + 1] - starts
+            succ = self._out_dst[self._gather_csr(starts, counts)]
+            if not len(succ):
+                continue
+            for chunk in self._split_by_level(np.unique(succ)):
+                worklist.setdefault(
+                    int(self.graph.level[chunk[0]]), []
+                ).append(chunk)
+        if not touched:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(touched))
+
+    def _refresh_endpoint_slacks(self, pins: np.ndarray) -> None:
+        """Batched slack refresh for the given endpoint pins."""
+        if not len(pins):
+            return
+        g = self.graph
+        period = self.design.constraints.clock_period
+        ep_idx = self._endpoint_idx_of_pin[pins]
+        setup_idx = self._setup_idx_of_pin[pins]
+        is_setup = setup_idx >= 0
+        sp = pins[is_setup]
+        if len(sp):
+            k = setup_idx[is_setup]
+            slacks = np.empty((len(sp), 2))
+            clock_slew = np.full(len(sp), g.clock_slew)
+            for t in (RISE, FALL):
+                setup_time = g.lutbank.lookup(
+                    g.setup_lut[k, t],
+                    np.clip(self.slew[sp, t], 0.0, SLEW_CLIP_MAX),
+                    clock_slew,
+                )
+                slacks[:, t] = (period - setup_time) - self.at[sp, t]
+            self.ep_slack[ep_idx[is_setup]] = slacks.min(axis=1)
+        pp = pins[~is_setup]
+        if len(pp):
+            rat = period - g.po_output_delay[self._po_idx_of_pin[pp]]
+            self.ep_slack[ep_idx[~is_setup]] = (
+                rat[:, None] - self.at[pp]
+            ).min(axis=1)
 
     # ------------------------------------------------------------------
     def verify(self, rtol: float = 1e-6, atol: float = 1e-6) -> bool:
@@ -301,4 +429,5 @@ class IncrementalTimer:
         return bool(
             np.allclose(self.ep_slack, result.endpoint_slack, rtol=rtol, atol=atol)
             and abs(self.wns - result.wns_setup) <= atol + rtol * abs(result.wns_setup)
+            and abs(self.tns - result.tns_setup) <= atol + rtol * abs(result.tns_setup)
         )

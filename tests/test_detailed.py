@@ -85,3 +85,27 @@ class TestGapFinding:
             assert small_design.cell_w[cj] == pytest.approx(
                 small_design.cell_w[ci]
             )
+
+
+class TestIncrementalReturnValues:
+    def test_move_returns_match_full_reanalysis(
+        self, small_design, legal_placement
+    ):
+        """The (WNS, TNS) pair returned by every trial move agrees with a
+        full golden re-analysis, and the engine's verify() (which now
+        cross-checks TNS too) stays green through the trial sequence."""
+        lx, ly = legal_placement
+        placer = TimingDrivenDetailedPlacer(small_design)
+        timer = placer.timer
+        timer.reset(lx, ly)
+        rng = np.random.default_rng(8)
+        movable = np.nonzero(~small_design.cell_fixed)[0]
+        for _ in range(6):
+            ci = int(rng.choice(movable))
+            nx = timer.x[ci] + rng.normal(0, 4)
+            ny = timer.y[ci]
+            wns, tns = timer.move([ci], [nx], [ny])
+            ref = run_sta(small_design, timer.x, timer.y)
+            assert wns == pytest.approx(ref.wns_setup, abs=1e-6)
+            assert tns == pytest.approx(ref.tns_setup, abs=1e-5)
+            assert timer.verify()

@@ -143,3 +143,122 @@ class TestGradientDirection:
         step = 0.2 / max(norm, 1e-12)
         tape1 = timer.forward(x + step * gx, y + step * gy, forest)
         assert tape1.tns > tape0.tns
+
+
+class TestZeroEndpointDesign:
+    """A design with no setup checks and no output ports (satellite fix:
+    the empty-endpoint reduction used to raise in ``lse_min``)."""
+
+    @pytest.fixture(scope="class")
+    def no_endpoint_design(self, library):
+        from repro.netlist import DesignBuilder
+
+        b = DesignBuilder("noend", library, die=(0.0, 0.0, 60.0, 20.0))
+        b.add_input("clk", x=0.0, y=0.0)
+        b.add_input("a", x=0.0, y=10.0)
+        b.add_cell("u1", "INV_X1", x=20.0, y=10.0)
+        b.add_cell("u2", "INV_X1", x=40.0, y=10.0)
+        b.add_net("n0", ["a", "u1/A"])
+        b.add_net("n1", ["u1/Y", "u2/A"])
+        return b.build()
+
+    def test_forward_is_trivially_met(self, no_endpoint_design):
+        timer = DifferentiableTimer(no_endpoint_design)
+        assert timer.graph.n_endpoints == 0
+        tape = timer.forward()
+        assert tape.tns == 0.0
+        assert tape.wns == 0.0
+        assert tape.ep_slack.size == 0
+
+    @pytest.mark.parametrize(
+        "d_tns,d_wns", [(1.0, 0.0), (0.0, 1.0), (0.5, 0.5)]
+    )
+    def test_backward_returns_zero_gradients(
+        self, no_endpoint_design, d_tns, d_wns
+    ):
+        timer = DifferentiableTimer(no_endpoint_design)
+        tape = timer.forward()
+        gx, gy = timer.backward(tape, d_tns=d_tns, d_wns=d_wns)
+        assert gx.shape == (no_endpoint_design.n_cells,)
+        assert np.abs(gx).max() == 0.0
+        assert np.abs(gy).max() == 0.0
+
+    def test_gradcheck_passes(self, no_endpoint_design):
+        from repro.core import check_gradient
+
+        design = no_endpoint_design
+        timer = DifferentiableTimer(design)
+        forest = build_forest(design, design.cell_x, design.cell_y)
+        tape = timer.forward(design.cell_x, design.cell_y, forest)
+        gx, _ = timer.backward(tape)
+
+        def fn(xx):
+            return timer.forward(xx, design.cell_y, forest).tns
+
+        report = check_gradient(fn, gx, design.cell_x.astype(float))
+        assert report.ok
+
+
+class TestSlewClipBoundary:
+    """Setup-check slews are clipped before the LUT query; where the clip
+    is active the recorded slew-derivative must vanish so the backward
+    pass matches finite differences of the clipped forward (satellite
+    fix: it used to apply ``setup_dsetup_dslew`` unconditionally)."""
+
+    def _clip_between_slews(self, tape, graph):
+        """A clip bound in the widest gap of the setup slews, so no pin
+        sits near the boundary and central differences stay one-sided."""
+        slews = np.sort(np.unique(tape.slew[graph.setup_d].reshape(-1)))
+        assert len(slews) >= 2
+        gaps = np.diff(slews)
+        k = int(np.argmax(gaps))
+        return float(0.5 * (slews[k] + slews[k + 1]))
+
+    def test_clipped_slew_grad_is_zeroed(self, env, monkeypatch):
+        from repro.core import difftimer as difftimer_mod
+
+        design, x, y, forest = env
+        timer = DifferentiableTimer(design, gamma=15.0)
+        clip = self._clip_between_slews(
+            timer.forward(x, y, forest), timer.graph
+        )
+        monkeypatch.setattr(difftimer_mod, "SLEW_CLIP_MAX", clip)
+        tape = timer.forward(x, y, forest)
+        clipped = tape.slew[timer.graph.setup_d] > clip
+        assert np.any(clipped)  # the boundary is actually exercised
+        assert np.all(tape.setup_dsetup_dslew[clipped] == 0.0)
+        assert np.any(tape.setup_dsetup_dslew[~clipped] != 0.0)
+
+    def test_gradient_matches_fd_at_clip_boundary(self, env, monkeypatch):
+        from repro.core import check_gradient
+        from repro.core import difftimer as difftimer_mod
+
+        design, x, y, forest = env
+        timer = DifferentiableTimer(design, gamma=15.0)
+        clip = self._clip_between_slews(
+            timer.forward(x, y, forest), timer.graph
+        )
+        monkeypatch.setattr(difftimer_mod, "SLEW_CLIP_MAX", clip)
+        tape = timer.forward(x, y, forest)
+        gx, gy = timer.backward(tape)
+
+        n = design.n_cells
+
+        def fn(z):
+            return timer.forward(z[:n], z[n:], forest).tns
+
+        movable = np.nonzero(~design.cell_fixed)[0]
+        strong = movable[np.argsort(-np.abs(gx[movable]))[:6]]
+        rng = np.random.default_rng(17)
+        probes = np.unique(
+            np.concatenate([strong, rng.choice(movable, 8), n + strong])
+        )
+        report = check_gradient(
+            fn,
+            np.concatenate([gx, gy]),
+            np.concatenate([x, y]),
+            indices=probes,
+            eps=1e-4,
+            rtol=2e-3,
+        )
+        assert report.ok, str(report)

@@ -109,3 +109,51 @@ class TestEfficiency:
         timer.move([pi], [timer.x[pi] + 1.0], [timer.y[pi]])
         ref = run_sta(small_design, timer.x, timer.y)
         assert timer.wns == pytest.approx(ref.wns_setup, abs=1e-6)
+
+
+class TestVerify:
+    def test_verify_after_moves(self, timer, small_design):
+        """verify() cross-checks slacks, WNS *and* TNS after real moves."""
+        rng = np.random.default_rng(9)
+        movable = np.nonzero(~small_design.cell_fixed)[0]
+        cells = rng.choice(movable, 5, replace=False)
+        timer.move(cells, timer.x[cells] + 3.0, timer.y[cells] - 2.0)
+        assert timer.verify()
+
+    def test_verify_catches_corrupted_tns(self, timer):
+        """TNS is part of the cross-check (it used to be skipped)."""
+        timer.tns -= 10.0
+        assert not timer.verify()
+
+    def test_verify_catches_corrupted_wns(self, timer):
+        timer.wns -= 10.0
+        assert not timer.verify()
+
+
+class TestBatchedSweepEquivalence:
+    def test_batched_level_matches_scalar_recompute(
+        self, timer, small_design
+    ):
+        """The vectorised per-level kernel equals the scalar oracle
+        ``_recompute_pin`` on every recomputable pin of the design."""
+        recomputable = np.nonzero(
+            (timer.fanin_net_src >= 0)
+            | (np.diff(timer._c_start) > 0)
+        )[0]
+        expected = {
+            int(p): timer._recompute_pin(int(p)) for p in recomputable
+        }
+        for chunk in timer._split_by_level(recomputable):
+            timer._recompute_level(chunk)
+        for p, (at, slew) in expected.items():
+            np.testing.assert_allclose(timer.at[p], at, atol=1e-12)
+            np.testing.assert_allclose(timer.slew[p], slew, atol=1e-12)
+
+    def test_batched_endpoint_slacks_match_scalar(self, timer):
+        g = timer.graph
+        expected = np.array(
+            [timer._endpoint_slack(int(p)) for p in g.endpoint_pins]
+        )
+        timer.ep_slack[:] = 0.0
+        timer._refresh_endpoint_slacks(g.endpoint_pins)
+        np.testing.assert_allclose(timer.ep_slack, expected, atol=1e-12)

@@ -1,0 +1,132 @@
+"""Tests for the per-stage profiling layer (:mod:`repro.perf`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DifferentiableTimer
+from repro.perf import PROFILER, Timer, get_profiler, profile_enabled_by_env
+from repro.sta import IncrementalTimer
+
+
+@pytest.fixture()
+def profiler():
+    """The shared profiler, enabled and reset for one test."""
+    was_enabled = PROFILER.enabled
+    PROFILER.reset()
+    PROFILER.enable()
+    yield PROFILER
+    PROFILER.reset()
+    PROFILER.enabled = was_enabled
+
+
+class TestTimer:
+    def test_stage_accumulates_time_and_calls(self):
+        t = Timer(enabled=True)
+        for _ in range(3):
+            with t.stage("work"):
+                pass
+        stats = t.stats()
+        assert stats["work"]["calls"] == 3
+        assert stats["work"]["total_s"] >= 0.0
+        assert stats["work"]["mean_s"] == pytest.approx(
+            stats["work"]["total_s"] / 3
+        )
+
+    def test_disabled_timer_records_nothing(self):
+        t = Timer()
+        with t.stage("ignored"):
+            pass
+        assert t.stats() == {}
+
+    def test_reset_clears_but_keeps_enabled(self):
+        t = Timer(enabled=True)
+        with t.stage("a"):
+            pass
+        t.reset()
+        assert t.stats() == {}
+        assert t.enabled
+
+    def test_add_direct(self):
+        t = Timer(enabled=True)
+        t.add("manual", 0.5, calls=2)
+        assert t.stats()["manual"] == {
+            "calls": 2,
+            "total_s": 0.5,
+            "mean_s": 0.25,
+        }
+
+    def test_report_lists_every_stage(self):
+        t = Timer(enabled=True)
+        t.add("alpha", 0.1)
+        t.add("beta", 0.2)
+        text = t.report("unit")
+        assert "alpha" in text and "beta" in text and "unit" in text
+
+    def test_report_handles_empty(self):
+        assert "no stages" in Timer(enabled=True).report()
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert profile_enabled_by_env()
+        assert Timer().enabled
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert not profile_enabled_by_env()
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert not Timer().enabled
+
+    def test_get_profiler_is_shared(self):
+        assert get_profiler() is PROFILER
+
+
+class TestThreadedStages:
+    def test_tns_wns_with_grad_records_every_stage(
+        self, profiler, small_design, spread_positions
+    ):
+        """One forward+backward call must hit each instrumented kernel."""
+        x, y = spread_positions
+        DifferentiableTimer(small_design).tns_wns_with_grad(x, y)
+        stats = profiler.stats()
+        for stage in (
+            "route.build_forest",
+            "difftimer.forward.elmore",
+            "difftimer.forward.levels",
+            "difftimer.forward.net_level",
+            "difftimer.forward.cell_level",
+            "difftimer.forward.endpoints",
+            "difftimer.backward.levels",
+            "difftimer.backward.cell_level",
+            "difftimer.backward.net_level",
+            "difftimer.backward.elmore",
+        ):
+            assert stage in stats, f"missing stage {stage}"
+            assert stats[stage]["calls"] >= 1
+
+    def test_incremental_move_records_stages(
+        self, profiler, small_design, spread_positions
+    ):
+        x, y = spread_positions
+        timer = IncrementalTimer(small_design)
+        timer.reset(x, y)
+        profiler.reset()
+        ci = int(np.nonzero(~small_design.cell_fixed)[0][0])
+        timer.move([ci], [x[ci] + 2.0], [y[ci] + 1.0])
+        stats = profiler.stats()
+        for stage in (
+            "incremental.reroute",
+            "incremental.sweep",
+            "incremental.endpoints",
+        ):
+            assert stage in stats, f"missing stage {stage}"
+
+    def test_disabled_profiler_stays_empty(
+        self, small_design, spread_positions
+    ):
+        was_enabled = PROFILER.enabled
+        PROFILER.disable()
+        PROFILER.reset()
+        try:
+            x, y = spread_positions
+            DifferentiableTimer(small_design).tns_wns_with_grad(x, y)
+            assert PROFILER.stats() == {}
+        finally:
+            PROFILER.enabled = was_enabled
