@@ -18,11 +18,13 @@ Subpackages
   baseline, legalization.
 - ``repro.harness``: benchmark suite and experiment reproduction.
 - ``repro.perf``: per-stage wall-time instrumentation of the hot paths.
+- ``repro.runtime``: guarded placement runtime - design validation,
+  numerical fault quarantine, checkpoint/restart, fault injection.
 """
 
 __version__ = "1.0.0"
 
-from . import core, harness, netlist, perf, place, route, sta
+from . import core, harness, netlist, perf, place, route, runtime, sta
 
 __all__ = [
     "core",
@@ -31,6 +33,7 @@ __all__ = [
     "perf",
     "place",
     "route",
+    "runtime",
     "sta",
     "__version__",
 ]

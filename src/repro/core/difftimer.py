@@ -37,6 +37,7 @@ from ..sta.elmore import (
     node_caps,
 )
 from ..perf import PROFILER
+from ..runtime import faults
 from ..sta.graph import TimingGraph
 from .cell_prop import SLEW_CLIP_MAX, cell_backward_level, cell_forward_level
 from .elmore_grad import elmore_backward
@@ -116,6 +117,12 @@ class DifferentiableTimer:
         y = design.cell_y if cell_y is None else cell_y
         if forest is None:
             forest = build_forest(design, x, y)
+
+        # Fault-injection hook (inert unless a guarded placer run armed an
+        # injector with a due lut_corrupt fault; see repro.runtime.faults).
+        inj = faults.current_injector()
+        if inj is not None:
+            inj.corrupt_lutbank(graph.lutbank)
 
         with PROFILER.stage("difftimer.forward.elmore"):
             px, py = design.pin_positions(x, y)
@@ -241,6 +248,12 @@ class DifferentiableTimer:
         gamma = self.gamma
         n_pins = design.n_pins
         at, slew = tape.at, tape.slew
+
+        # Fault-injection hook: a due timer_exc fault emulates a kernel
+        # crash mid-backward (inert outside armed guarded placer runs).
+        inj = faults.current_injector()
+        if inj is not None:
+            inj.maybe_raise("difftimer.backward")
 
         # Seeds: d objective / d endpoint slack.  With no endpoints the
         # objective is constant and the gradient is identically zero; the

@@ -73,6 +73,9 @@ class TimingObjective:
             design, graph=graph, gamma=self.options.gamma
         )
         self._forest: Optional[Forest] = None
+        #: (x, y) the current forest was built from; checkpointed so a
+        #: resumed run can rebuild the identical forest deterministically.
+        self._forest_coords: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._iters_since_rsmt = 0
         self._frozen_k: Optional[int] = None
         self._norm_cache: Optional[Tuple[float, float]] = None
@@ -96,6 +99,7 @@ class TimingObjective:
             or self._iters_since_rsmt >= self.options.rsmt_period
         ):
             self._forest = build_forest(self.design, cell_x, cell_y)
+            self._forest_coords = (cell_x.copy(), cell_y.copy())
             self._iters_since_rsmt = 0
             self.n_rsmt_calls += 1
         self._iters_since_rsmt += 1
@@ -123,6 +127,45 @@ class TimingObjective:
             and overflow < threshold
         ):
             self._frozen_k = max(iteration - self.options.start_iteration, 0)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (registered as a placer state provider so that
+    # resuming a timing-driven run replays the exact same RSMT/norm-cache
+    # schedule - required for bit-identical trajectories).
+    # ------------------------------------------------------------------
+    def get_state(self) -> Dict[str, object]:
+        fc = self._forest_coords
+        return {
+            "forest_coords": None if fc is None else (fc[0].copy(), fc[1].copy()),
+            "iters_since_rsmt": self._iters_since_rsmt,
+            "frozen_k": self._frozen_k,
+            "norm_cache": self._norm_cache,
+            "iters_since_norms": self._iters_since_norms,
+            "n_rsmt_calls": self.n_rsmt_calls,
+            "n_timer_calls": self.n_timer_calls,
+            "n_backward_calls": self.n_backward_calls,
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        fc = state.get("forest_coords")
+        if fc is None:
+            self._forest = None
+            self._forest_coords = None
+        else:
+            fx, fy = fc
+            # build_forest is deterministic in its inputs, so rebuilding
+            # from the stored coordinates reproduces the checkpointed
+            # forest without pickling tree topology.
+            self._forest = build_forest(self.design, fx, fy)
+            self._forest_coords = (fx.copy(), fy.copy())
+        self._iters_since_rsmt = int(state.get("iters_since_rsmt", 0))
+        self._frozen_k = state.get("frozen_k")
+        nc = state.get("norm_cache")
+        self._norm_cache = None if nc is None else (float(nc[0]), float(nc[1]))
+        self._iters_since_norms = int(state.get("iters_since_norms", 0))
+        self.n_rsmt_calls = int(state.get("n_rsmt_calls", 0))
+        self.n_timer_calls = int(state.get("n_timer_calls", 0))
+        self.n_backward_calls = int(state.get("n_backward_calls", 0))
 
     # ------------------------------------------------------------------
     def __call__(

@@ -76,6 +76,16 @@ class TimingDrivenPlacer:
                 return None
             return out[0], out[1], metrics
 
-        placer = GlobalPlacer(self.design, opts.placer, extra_grad_fn=hook)
+        placer = GlobalPlacer(
+            self.design,
+            opts.placer,
+            extra_grad_fn=hook,
+            # The objective's RSMT/norm-cache schedule rides along in
+            # checkpoints so resumed runs replay bit-identically.
+            state_providers={"timing_objective": self.objective},
+            # The graph levelized at construction, which proves acyclicity;
+            # --validate reuses it instead of levelizing twice.
+            validation_graph=self.graph,
+        )
         placer_box["placer"] = placer
         return placer.run()

@@ -6,15 +6,56 @@ Usage::
     python -m repro.harness --full          # all 8 designs (minutes)
     python -m repro.harness --fig8          # also collect Figure 8 curves
     python -m repro.harness --designs miniblue4 miniblue18
+    python -m repro.harness --validate --full        # design checks only
+    python -m repro.harness --checkpoint-every 50    # resumable runs
+    python -m repro.harness --resume benchmarks/results/checkpoints/... \
+        --designs miniblue1 --mode ours     # restart a killed run
 """
 
 from __future__ import annotations
 
 import argparse
 
+from ..place.placer import PlacerOptions
+from ..runtime import validate_design
 from .curves import format_fig8, run_fig8
-from .suite import format_table2
+from .runners import MODES, run_mode
+from .suite import format_table2, load_design
 from .table3 import format_table3, run_table3
+
+
+def _run_validate(designs) -> int:
+    """``--validate``: structural design checks only, no placement."""
+    failed = 0
+    for name in designs:
+        report = validate_design(load_design(name))
+        print(report.format())
+        if not report.ok:
+            failed += 1
+    return 1 if failed else 0
+
+
+def _run_resume(path: str, designs, mode: str, args) -> int:
+    """``--resume``: restart one placer run from a checkpoint file."""
+    if not designs or len(designs) != 1:
+        raise SystemExit(
+            "--resume needs exactly one design (--designs <name>)"
+        )
+    design = load_design(designs[0])
+    record = run_mode(
+        design,
+        mode,
+        placer_options=PlacerOptions(
+            max_iters=args.max_iters,
+            resume_from=path,
+            checkpoint_every=args.checkpoint_every,
+        ),
+        profile=args.profile,
+    )
+    print(record.summary())
+    if record.nonfinite_events:
+        print(f"guard events: {record.nonfinite_events}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -41,18 +82,60 @@ def main(argv=None) -> int:
         help="record per-kernel wall-time breakdowns and dump them to "
         "benchmarks/results/profile_<design>_<mode>.txt",
     )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run structural design validation on the selected designs and "
+        "exit (non-zero when any design has errors); during placement "
+        "runs, validation always happens before iteration 0",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="save a resumable placer checkpoint every N iterations to "
+        "benchmarks/results/checkpoints/ (0 = off)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="restart a single run from a checkpoint file (requires "
+        "--designs with exactly one design; see --mode)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=MODES,
+        default="ours",
+        help="placer mode for --resume (default: ours)",
+    )
     args = parser.parse_args(argv)
+
+    designs = args.designs
+    if designs is None:
+        if args.full or args.validate:
+            from .suite import SUITE
+
+            designs = [e.name for e in SUITE]
+        else:
+            designs = ["miniblue4", "miniblue16", "miniblue18"]
+
+    if args.validate:
+        return _run_validate(designs)
+    if args.resume:
+        return _run_resume(args.resume, args.designs, args.mode, args)
 
     print("Table 2 - benchmark statistics")
     print(format_table2())
     print()
 
-    designs = args.designs
-    if designs is None and not args.full:
-        designs = ["miniblue4", "miniblue16", "miniblue18"]
     print("Table 3 - WNS/TNS/HPWL/runtime")
     result = run_table3(
-        designs=designs, max_iters=args.max_iters, profile=args.profile
+        designs=designs,
+        max_iters=args.max_iters,
+        profile=args.profile,
+        checkpoint_every=args.checkpoint_every,
     )
     print()
     print(format_table3(result))

@@ -48,6 +48,10 @@ class RunRecord:
     trace: List[Dict[str, float]] = field(default_factory=list)
     #: Per-kernel profiler stats of the run (``--profile`` only).
     profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: Numerical-guard event counts (non-empty only when faults occurred).
+    nonfinite_events: Dict[str, int] = field(default_factory=dict)
+    #: Escalated recoveries (step-shrink retries + checkpoint rollbacks).
+    recoveries: int = 0
 
     def summary(self) -> str:
         return (
@@ -135,6 +139,8 @@ def run_mode(
         y=result.y,
         trace=result.trace,
         profile=stats,
+        nonfinite_events=result.nonfinite_events,
+        recoveries=result.recoveries,
     )
 
 

@@ -44,11 +44,16 @@ def run_table3(
     max_iters: int = 600,
     verbose: bool = True,
     profile: bool = False,
+    validate: bool = False,
+    checkpoint_every: int = 0,
 ) -> Table3Result:
     """Run the full (designs x modes) comparison matrix.
 
     ``profile=True`` dumps a per-kernel timing breakdown per (design,
     mode) run into ``benchmarks/results/`` (see :func:`run_mode`).
+    ``validate`` runs structural design validation before each placement;
+    ``checkpoint_every`` saves resumable placer checkpoints on that period
+    (see :mod:`repro.runtime`).
     """
     names = list(designs) if designs is not None else [e.name for e in SUITE]
     result = Table3Result()
@@ -57,7 +62,11 @@ def run_table3(
         for mode in modes:
             record = run_mode(
                 design, mode,
-                placer_options=PlacerOptions(max_iters=max_iters),
+                placer_options=PlacerOptions(
+                    max_iters=max_iters,
+                    validate=validate,
+                    checkpoint_every=checkpoint_every,
+                ),
                 profile=profile,
             )
             result.add(record)

@@ -59,6 +59,36 @@ class NesterovOptimizer:
         self.lr_max = max(self.lr_max * lr_scale, self.lr_min)
         self.lr = min(self.lr * lr_scale, self.lr_max)
 
+    def get_state(self) -> dict:
+        """Complete serializable state (checkpoint/restart support)."""
+        return {
+            "kind": "nesterov",
+            "u": self.u.copy(),
+            "v": self.v.copy(),
+            "a": self.a,
+            "lr": self.lr,
+            "lr_min": self.lr_min,
+            "lr_max": self.lr_max,
+            "prev_v": None if self._prev_v is None else self._prev_v.copy(),
+            "prev_grad": (
+                None if self._prev_grad is None else self._prev_grad.copy()
+            ),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`get_state` (bit-exact resume)."""
+        if state.get("kind") != "nesterov":
+            raise ValueError(f"state is for optimizer {state.get('kind')!r}")
+        self.u = state["u"].copy()
+        self.v = state["v"].copy()
+        self.a = float(state["a"])
+        self.lr = float(state["lr"])
+        self.lr_min = float(state["lr_min"])
+        self.lr_max = float(state["lr_max"])
+        pv, pg = state["prev_v"], state["prev_grad"]
+        self._prev_v = None if pv is None else pv.copy()
+        self._prev_grad = None if pg is None else pg.copy()
+
     def step(self, grad: np.ndarray) -> np.ndarray:
         """Consume the gradient at ``params``; returns the new main iterate."""
         if self._prev_grad is not None:
@@ -118,6 +148,27 @@ class AdamOptimizer:
         if self.bounds is not None:
             np.clip(self.x, self.bounds[0], self.bounds[1], out=self.x)
         return self.x
+
+    def get_state(self) -> dict:
+        """Complete serializable state (checkpoint/restart support)."""
+        return {
+            "kind": "adam",
+            "x": self.x.copy(),
+            "lr": self.lr,
+            "m": self.m.copy(),
+            "s": self.s.copy(),
+            "t": self.t,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`get_state` (bit-exact resume)."""
+        if state.get("kind") != "adam":
+            raise ValueError(f"state is for optimizer {state.get('kind')!r}")
+        self.x = state["x"].copy()
+        self.lr = float(state["lr"])
+        self.m = state["m"].copy()
+        self.s = state["s"].copy()
+        self.t = int(state["t"])
 
 
 def make_optimizer(kind: str, x0: np.ndarray, lr: float, bounds=None):

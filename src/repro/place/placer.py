@@ -10,17 +10,45 @@ placers compared in Table 3:
   (the net-weighting baseline of [24]);
 - ``extra_grad_fn(iteration, x, y)`` may return an additional objective
   gradient plus metrics (the differentiable timing objective, Eq. (6)).
+
+The driver runs inside the guarded runtime of :mod:`repro.runtime`:
+
+- ``PlacerOptions.validate`` runs structural design validation before
+  iteration 0 and refuses to start on a design with errors;
+- each objective term's gradient passes through a
+  :class:`~repro.runtime.guard.NumericalGuard` - a non-finite term is
+  quarantined for the iteration (zero contribution, counted and logged)
+  instead of being silently ``nan_to_num``-ed, and persistent faults
+  escalate through step-shrink retries to checkpoint rollback;
+- ``PlacerOptions.checkpoint_every`` serializes the complete optimizer
+  state periodically; ``resume_from`` restarts a run from such a file and
+  reproduces the remaining trajectory bit for bit;
+- seeded faults from ``REPRO_INJECT_FAULT`` (see
+  :mod:`repro.runtime.faults`) are armed for the duration of the run so
+  the recovery paths above can be exercised deterministically.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..netlist.design import Design
+from ..runtime.checkpoint import (
+    CheckpointManager,
+    PlacerCheckpoint,
+    load_checkpoint,
+)
+from ..runtime.faults import FaultInjector, FaultSpec, armed as _faults_armed
+from ..runtime.guard import LOGGER, NumericalGuard
+from ..runtime.validate import (
+    DesignValidationError,
+    ValidationReport,
+    validate_design,
+)
 from .density import DensityModel
 from .optimizer import make_optimizer
 from .wirelength import WAWirelength, hpwl
@@ -66,6 +94,16 @@ class PlacerOptions:
     seed: int = 0
     trace_every: int = 1
     verbose: bool = False
+    # ------------------------------------------------------------------
+    # Guarded runtime (repro.runtime)
+    # ------------------------------------------------------------------
+    validate: bool = False  # structural design validation before iter 0
+    guard: bool = True  # per-term NaN/Inf quarantine (off = legacy nan_to_num)
+    guard_retry_limit: int = 3  # consecutive quarantines before escalating
+    max_recoveries: int = 2  # step-shrink retries / rollbacks per run
+    checkpoint_every: int = 0  # 0 = checkpointing off
+    checkpoint_dir: Optional[str] = None  # None = runtime.CHECKPOINT_DIR
+    resume_from: Optional[str] = None  # checkpoint path to restart from
 
 
 @dataclass
@@ -80,6 +118,17 @@ class PlacerResult:
     trace: List[Dict[str, float]] = field(default_factory=list)
     hpwl: float = 0.0
     overflow: float = 0.0
+    #: Per-term non-finite/exception event counts from the numerical guard
+    #: (empty when nothing went wrong or the guard was disabled).
+    nonfinite_events: Dict[str, int] = field(default_factory=dict)
+    #: Number of iterations on which at least one term was quarantined.
+    quarantined_iterations: int = 0
+    #: Step-shrink retries + checkpoint rollbacks taken during the run.
+    recoveries: int = 0
+    #: Validation report when ``PlacerOptions.validate`` was on.
+    validation: Optional[ValidationReport] = None
+    #: Messages from the fault injector (non-empty only under injection).
+    fault_log: List[str] = field(default_factory=list)
 
     def series(self, key: str) -> Tuple[np.ndarray, np.ndarray]:
         """Extract (iteration, value) arrays for one traced metric."""
@@ -97,11 +146,22 @@ class GlobalPlacer:
         options: Optional[PlacerOptions] = None,
         extra_grad_fn: Optional[ExtraGradFn] = None,
         net_weight_fn: Optional[NetWeightFn] = None,
+        state_providers: Optional[Dict[str, Any]] = None,
+        validation_graph: Optional[Any] = None,
     ) -> None:
         self.design = design
         self.options = options if options is not None else PlacerOptions()
         self.extra_grad_fn = extra_grad_fn
         self.net_weight_fn = net_weight_fn
+        #: Named objects with ``get_state()``/``set_state()`` whose state
+        #: rides along in checkpoints (e.g. the timing objective's Steiner
+        #: forest and ramp counters), keeping resumes bit-identical.
+        self.state_providers: Dict[str, Any] = dict(state_providers or {})
+        #: Pre-built timing graph handed to validation (proves acyclicity
+        #: without a second levelisation).
+        self.validation_graph = validation_graph
+        #: Injection override for tests; None = read ``REPRO_INJECT_FAULT``.
+        self.fault_injector: Optional[FaultInjector] = None
         self.wirelength = WAWirelength(design)
         n_bins = self.options.n_bins
         if n_bins is None:
@@ -119,10 +179,13 @@ class GlobalPlacer:
         ).astype(np.float64)
 
     # ------------------------------------------------------------------
-    def initial_positions(self) -> Tuple[np.ndarray, np.ndarray]:
+    def initial_positions(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Movable cells near the die center with a small random spread."""
         design = self.design
-        rng = np.random.default_rng(self.options.seed)
+        if rng is None:
+            rng = np.random.default_rng(self.options.seed)
         xl, yl, xh, yh = design.die
         cx, cy = 0.5 * (xl + xh), 0.5 * (yl + yh)
         x = design.cell_x.copy()
@@ -149,146 +212,338 @@ class GlobalPlacer:
         opts = self.options
         start_time = time.perf_counter()
 
-        if x0 is None or y0 is None:
-            x, y = self.initial_positions()
-        else:
-            x, y = x0.copy(), y0.copy()
+        validation: Optional[ValidationReport] = None
+        if opts.validate:
+            validation = validate_design(design, graph=self.validation_graph)
+            if not validation.ok:
+                raise DesignValidationError(validation)
+
+        guard = NumericalGuard() if opts.guard else None
+        injector = self.fault_injector
+        if injector is None:
+            injector = FaultInjector(FaultSpec.from_env())
 
         n = design.n_cells
         xl, yl, xh, yh = design.die
         die_span = 0.5 * ((xh - xl) + (yh - yl))
-        pos = np.concatenate([x, y])
         # Both the iterate and the Nesterov lookahead point are projected
         # into the die: gradients (in particular the timing objective) are
         # evaluated at the lookahead, which must stay physical.  Fixed
         # cells never move (zero gradient), so clipping cannot shift them.
         lo = np.concatenate([np.full(n, xl), np.full(n, yl)])
         hi = np.concatenate([np.full(n, xh), np.full(n, yh)])
-        optimizer = make_optimizer(
-            opts.optimizer, pos, lr=opts.lr_fraction * die_span,
-            bounds=(lo, hi),
-        )
         movable2 = np.concatenate([self.movable, self.movable])
 
-        lam = None
-        net_weights = np.ones(design.n_nets)
+        manager = CheckpointManager(
+            directory=opts.checkpoint_dir,
+            prefix=f"{design.name}_{opts.optimizer}",
+            every=opts.checkpoint_every,
+        )
+
+        rng = np.random.default_rng(opts.seed)
+        resume_cp: Optional[PlacerCheckpoint] = None
+        if opts.resume_from:
+            resume_cp = load_checkpoint(opts.resume_from)
+
+        if resume_cp is not None:
+            pos = resume_cp.pos.copy()
+            optimizer = make_optimizer(
+                opts.optimizer, pos, lr=opts.lr_fraction * die_span,
+                bounds=(lo, hi),
+            )
+            optimizer.set_state(resume_cp.optimizer)
+            rng.bit_generator.state = resume_cp.rng_state
+            lam = resume_cp.lam
+            net_weights = resume_cp.net_weights.copy()
+            overflow = float(resume_cp.overflow)
+            prev_overflow = float(resume_cp.prev_overflow)
+            best_overflow = float(resume_cp.best_overflow)
+            best_pos = resume_cp.best_pos.copy()
+            recent_hpwl = list(resume_cp.recent_hpwl)
+            start_iter = int(resume_cp.iteration)
+            if guard is not None:
+                guard.set_state(resume_cp.guard_state)
+            injector.set_state(resume_cp.injector_state)
+            for name, provider in self.state_providers.items():
+                if name in resume_cp.extra:
+                    provider.set_state(resume_cp.extra[name])
+        else:
+            if x0 is None or y0 is None:
+                x, y = self.initial_positions(rng)
+            else:
+                x, y = x0.copy(), y0.copy()
+            pos = np.concatenate([x, y])
+            optimizer = make_optimizer(
+                opts.optimizer, pos, lr=opts.lr_fraction * die_span,
+                bounds=(lo, hi),
+            )
+            lam = None
+            net_weights = np.ones(design.n_nets)
+            overflow = 1.0
+            prev_overflow = 1.0
+            best_overflow = np.inf
+            best_pos = pos.copy()
+            recent_hpwl = []
+            start_iter = 0
+
         trace: List[Dict[str, float]] = []
         stop_reason = "max_iters"
-        iteration = 0
-        overflow = 1.0
-        prev_overflow = 1.0
-        recent_hpwl: List[float] = []
-        best_overflow = np.inf
-        best_pos = pos.copy()
+        iteration = start_iter
+        last_iteration = start_iter - 1
+        quarantined_iters = 0
+        retries = 0  # step-shrink escalations taken
+        rollbacks = 0  # checkpoint rollbacks taken
 
-        for iteration in range(opts.max_iters):
-            pos_eval = optimizer.params
-            x_eval = pos_eval[:n]
-            y_eval = pos_eval[n:]
-
-            if self.net_weight_fn is not None:
-                updated = self.net_weight_fn(iteration, x_eval, y_eval)
-                if updated is not None:
-                    net_weights = updated
-
-            gamma = self._gamma(overflow)
-            _, gwx, gwy = self.wirelength.evaluate(
-                x_eval, y_eval, gamma, net_weights
+        def make_checkpoint() -> PlacerCheckpoint:
+            return PlacerCheckpoint(
+                design=design.name,
+                iteration=iteration,
+                pos=pos.copy(),
+                optimizer=optimizer.get_state(),
+                lam=lam,
+                net_weights=net_weights.copy(),
+                overflow=float(overflow),
+                prev_overflow=float(prev_overflow),
+                best_overflow=float(best_overflow),
+                best_pos=best_pos.copy(),
+                recent_hpwl=list(recent_hpwl),
+                rng_state=rng.bit_generator.state,
+                guard_state=guard.get_state() if guard is not None else {},
+                injector_state=injector.get_state(),
+                extra={
+                    name: provider.get_state()
+                    for name, provider in self.state_providers.items()
+                },
             )
-            dres = self.density.evaluate(x_eval, y_eval)
-            overflow = dres.overflow
 
-            if lam is None:
-                wl_norm = float(np.abs(gwx).sum() + np.abs(gwy).sum())
-                d_norm = float(
-                    np.abs(dres.grad_x).sum() + np.abs(dres.grad_y).sum()
+        def restore_checkpoint(cp: PlacerCheckpoint) -> None:
+            """Roll the whole optimization back to a saved state."""
+            nonlocal pos, lam, net_weights, overflow, prev_overflow
+            nonlocal best_overflow, best_pos, recent_hpwl, iteration
+            pos = cp.pos.copy()
+            optimizer.set_state(cp.optimizer)
+            lam = cp.lam
+            net_weights = cp.net_weights.copy()
+            overflow = float(cp.overflow)
+            prev_overflow = float(cp.prev_overflow)
+            best_overflow = float(cp.best_overflow)
+            best_pos = cp.best_pos.copy()
+            recent_hpwl = list(cp.recent_hpwl)
+            rng.bit_generator.state = cp.rng_state
+            for name, provider in self.state_providers.items():
+                if name in cp.extra:
+                    provider.set_state(cp.extra[name])
+            iteration = int(cp.iteration)
+
+        with _faults_armed(injector):
+            while iteration < opts.max_iters:
+                last_iteration = iteration
+                injector.begin_iteration(iteration)
+                if manager.enabled:
+                    manager.maybe_save(iteration, make_checkpoint)
+
+                pos_eval = optimizer.params
+                x_eval = pos_eval[:n]
+                y_eval = pos_eval[n:]
+
+                if self.net_weight_fn is not None:
+                    updated = self.net_weight_fn(iteration, x_eval, y_eval)
+                    if updated is not None:
+                        net_weights = updated
+
+                gamma = self._gamma(overflow)
+                _, gwx, gwy = self.wirelength.evaluate(
+                    x_eval, y_eval, gamma, net_weights
                 )
-                lam = opts.lambda_init_ratio * wl_norm / max(d_norm, 1e-12)
+                injector.corrupt_grad("wirelength", gwx, gwy)
+                healthy = True
+                if guard is not None:
+                    healthy &= guard.check_term("wirelength", iteration, gwx, gwy)
 
-            grad_x = gwx + lam * dres.grad_x
-            grad_y = gwy + lam * dres.grad_y
-
-            extra_metrics: Dict[str, float] = {}
-            if self.extra_grad_fn is not None:
-                self.last_wl_grad_l1 = float(
-                    np.abs(gwx).sum() + np.abs(gwy).sum()
-                )
-                self.last_overflow = overflow
-                extra = self.extra_grad_fn(iteration, x_eval, y_eval)
-                if extra is not None:
-                    egx, egy, extra_metrics = extra
-                    grad_x = grad_x + egx
-                    grad_y = grad_y + egy
-
-            precond = self.cell_pin_count + lam * self.density.area
-            precond = np.maximum(precond, 1.0)
-            grad = np.concatenate([grad_x / precond, grad_y / precond])
-            grad[~movable2] = 0.0
-            np.nan_to_num(grad, copy=False)
-
-            pos = optimizer.step(grad)
-            np.clip(pos[:n], xl, xh, out=pos[:n])
-            np.clip(pos[n:], yl, yh, out=pos[n:])
-
-            # Adaptive density-weight schedule: grow at the full rate only
-            # while the overflow is actually shrinking; otherwise creep.
-            # Unconditional exponential growth makes the density term
-            # arbitrarily stiff and eventually shakes the placement apart.
-            if overflow < prev_overflow - 1e-4:
-                lam = min(lam * opts.lambda_mult, opts.lambda_max)
-            else:
-                lam = min(lam * (1.0 + 0.25 * (opts.lambda_mult - 1.0)),
-                          opts.lambda_max)
-            prev_overflow = overflow
-
-            if overflow < best_overflow:
-                best_overflow = overflow
-                best_pos = pos.copy()
-            elif overflow > best_overflow + 0.4 and iteration > opts.min_iters:
-                # The trajectory exploded well past its best point; bail
-                # out and report the best iterate seen.
-                pos = best_pos
-                stop_reason = "diverged"
-                break
-
-            current_hpwl = hpwl(design, pos[:n], pos[n:])
-            # Divergence guard: Nesterov with Barzilai-Borwein steps can
-            # blow up when the density field is noisy.  Normal spreading
-            # grows HPWL by a few percent per iteration, so a jump well
-            # above the recent median marks a blowup - drop momentum and
-            # shrink the step bound, keeping the last stable iterate.
-            recent_hpwl.append(current_hpwl)
-            if len(recent_hpwl) > 20:
-                recent_hpwl.pop(0)
-            recent_median = float(np.median(recent_hpwl))
-            if (
-                len(recent_hpwl) == 20
-                and current_hpwl > 4.0 * recent_median
-                and hasattr(optimizer, "restart")
-            ):
-                optimizer.restart()
-                pos = optimizer.params
-                current_hpwl = hpwl(design, pos[:n], pos[n:])
-                recent_hpwl.clear()
-
-            if iteration % opts.trace_every == 0:
-                entry = {
-                    "iteration": float(iteration),
-                    "hpwl": current_hpwl,
-                    "overflow": overflow,
-                    "lambda": lam,
-                }
-                entry.update(extra_metrics)
-                trace.append(entry)
-                if opts.verbose and iteration % 50 == 0:
-                    print(
-                        f"iter {iteration:4d} hpwl {entry['hpwl']:.3e} "
-                        f"overflow {overflow:.3f}"
+                dres = self.density.evaluate(x_eval, y_eval)
+                injector.corrupt_grad("density", dres.grad_x, dres.grad_y)
+                if guard is None:
+                    overflow = dres.overflow
+                else:
+                    density_ok = guard.check_term(
+                        "density", iteration, dres.grad_x, dres.grad_y
                     )
+                    healthy &= density_ok
+                    if density_ok and np.isfinite(dres.overflow):
+                        overflow = dres.overflow
+                    # else: quarantined - keep the previous overflow
 
-            if iteration >= opts.min_iters and overflow < opts.stop_overflow:
-                stop_reason = "overflow"
-                break
+                if lam is None and (guard is None or healthy):
+                    wl_norm = float(np.abs(gwx).sum() + np.abs(gwy).sum())
+                    d_norm = float(
+                        np.abs(dres.grad_x).sum() + np.abs(dres.grad_y).sum()
+                    )
+                    lam = opts.lambda_init_ratio * wl_norm / max(d_norm, 1e-12)
+                lam_eff = lam if lam is not None else 0.0
+
+                grad_x = gwx + lam_eff * dres.grad_x
+                grad_y = gwy + lam_eff * dres.grad_y
+
+                extra_metrics: Dict[str, float] = {}
+                if self.extra_grad_fn is not None:
+                    self.last_wl_grad_l1 = float(
+                        np.abs(gwx).sum() + np.abs(gwy).sum()
+                    )
+                    self.last_overflow = overflow
+                    try:
+                        extra = self.extra_grad_fn(iteration, x_eval, y_eval)
+                    except Exception as exc:
+                        if guard is None:
+                            raise
+                        guard.record_exception("timing", iteration, exc)
+                        healthy = False
+                        extra = None
+                    if extra is not None:
+                        egx, egy, extra_metrics = extra
+                        injector.corrupt_grad("timing", egx, egy)
+                        if guard is not None:
+                            healthy &= guard.check_term(
+                                "timing", iteration, egx, egy
+                            )
+                        grad_x = grad_x + egx
+                        grad_y = grad_y + egy
+
+                precond = self.cell_pin_count + lam_eff * self.density.area
+                precond = np.maximum(precond, 1.0)
+                grad = np.concatenate([grad_x / precond, grad_y / precond])
+                grad[~movable2] = 0.0
+                if guard is not None:
+                    guard.scrub("combined", iteration, grad)
+                else:
+                    np.nan_to_num(grad, copy=False)
+
+                if guard is not None and not healthy:
+                    quarantined_iters += 1
+                    if guard.worst_consecutive() >= opts.guard_retry_limit:
+                        # Persistent fault: escalate.  First drop momentum
+                        # and shrink the step bound (stale Nesterov state is
+                        # the usual amplifier), then roll back to the best
+                        # checkpoint; out of options, keep quarantining (the
+                        # run degrades to its healthy terms).
+                        if retries < opts.max_recoveries and hasattr(
+                            optimizer, "restart"
+                        ):
+                            LOGGER.warning(
+                                "iteration %d: %d consecutive quarantines; "
+                                "dropping momentum and shrinking step bound",
+                                iteration, guard.worst_consecutive(),
+                            )
+                            optimizer.restart()
+                            guard.reset_consecutive()
+                            retries += 1
+                        elif (
+                            rollbacks < opts.max_recoveries
+                            and manager.best_path() is not None
+                        ):
+                            cp = manager.load_best()
+                            LOGGER.warning(
+                                "iteration %d: persistent fault; rolling "
+                                "back to checkpoint at iteration %d",
+                                iteration, cp.iteration,
+                            )
+                            restore_checkpoint(cp)
+                            if hasattr(optimizer, "restart"):
+                                optimizer.restart()
+                            guard.reset_consecutive()
+                            rollbacks += 1
+                            continue
+
+                pos = optimizer.step(grad)
+                np.clip(pos[:n], xl, xh, out=pos[:n])
+                np.clip(pos[n:], yl, yh, out=pos[n:])
+
+                # Adaptive density-weight schedule: grow at the full rate
+                # only while the overflow is actually shrinking; otherwise
+                # creep.  Unconditional exponential growth makes the density
+                # term arbitrarily stiff and eventually shakes the
+                # placement apart.
+                if lam is not None:
+                    if overflow < prev_overflow - 1e-4:
+                        lam = min(lam * opts.lambda_mult, opts.lambda_max)
+                    else:
+                        lam = min(
+                            lam * (1.0 + 0.25 * (opts.lambda_mult - 1.0)),
+                            opts.lambda_max,
+                        )
+                prev_overflow = overflow
+
+                if overflow < best_overflow:
+                    best_overflow = overflow
+                    best_pos = pos.copy()
+                elif (
+                    overflow > best_overflow + 0.4
+                    and iteration > opts.min_iters
+                ):
+                    # The trajectory exploded well past its best point.
+                    # With checkpoints on hand, roll back and retry with a
+                    # shrunken step; otherwise bail out and report the best
+                    # iterate seen.
+                    cp = manager.load_best() if manager.enabled else None
+                    if cp is not None and rollbacks < opts.max_recoveries:
+                        LOGGER.warning(
+                            "iteration %d: overflow %.3f diverged past best "
+                            "%.3f; rolling back to checkpoint at iteration %d",
+                            iteration, overflow, best_overflow, cp.iteration,
+                        )
+                        restore_checkpoint(cp)
+                        if hasattr(optimizer, "restart"):
+                            optimizer.restart()
+                        if guard is not None:
+                            guard.reset_consecutive()
+                        rollbacks += 1
+                        continue
+                    pos = best_pos
+                    stop_reason = "diverged"
+                    break
+
+                current_hpwl = hpwl(design, pos[:n], pos[n:])
+                # Divergence guard: Nesterov with Barzilai-Borwein steps can
+                # blow up when the density field is noisy.  Normal spreading
+                # grows HPWL by a few percent per iteration, so a jump well
+                # above the recent median marks a blowup - drop momentum and
+                # shrink the step bound, keeping the last stable iterate.
+                recent_hpwl.append(current_hpwl)
+                if len(recent_hpwl) > 20:
+                    recent_hpwl.pop(0)
+                recent_median = float(np.median(recent_hpwl))
+                if (
+                    len(recent_hpwl) == 20
+                    and current_hpwl > 4.0 * recent_median
+                    and hasattr(optimizer, "restart")
+                ):
+                    optimizer.restart()
+                    pos = optimizer.params
+                    current_hpwl = hpwl(design, pos[:n], pos[n:])
+                    recent_hpwl.clear()
+
+                if iteration % opts.trace_every == 0:
+                    entry = {
+                        "iteration": float(iteration),
+                        "hpwl": current_hpwl,
+                        "overflow": overflow,
+                        "lambda": lam_eff,
+                    }
+                    entry.update(extra_metrics)
+                    trace.append(entry)
+                    if opts.verbose and iteration % 50 == 0:
+                        print(
+                            f"iter {iteration:4d} hpwl {entry['hpwl']:.3e} "
+                            f"overflow {overflow:.3f}"
+                        )
+
+                if (
+                    iteration >= opts.min_iters
+                    and overflow < opts.stop_overflow
+                ):
+                    stop_reason = "overflow"
+                    break
+
+                iteration += 1
 
         x_final = pos[:n].copy()
         y_final = pos[n:].copy()
@@ -296,10 +551,15 @@ class GlobalPlacer:
         return PlacerResult(
             x=x_final,
             y=y_final,
-            iterations=iteration + 1,
+            iterations=last_iteration + 1,
             runtime=runtime,
             stop_reason=stop_reason,
             trace=trace,
             hpwl=hpwl(design, x_final, y_final),
             overflow=overflow,
+            nonfinite_events=guard.summary() if guard is not None else {},
+            quarantined_iterations=quarantined_iters,
+            recoveries=retries + rollbacks,
+            validation=validation,
+            fault_log=list(injector.log),
         )

@@ -1,11 +1,11 @@
 """Golden static timing analysis: graph, Elmore, NLDM, analysis, paths."""
 
 from .nldm import LutBank
-from .graph import LevelizedArcs, TimingGraph, levelize
+from .graph import CombinationalCycleError, LevelizedArcs, TimingGraph, levelize
 from .elmore import ElmoreResult, elmore_forward, node_caps
 from .analysis import STAResult, StaticTimingAnalyzer, run_sta
 from .paths import TimingPath, extract_path, format_path, worst_paths
-from .incremental import IncrementalTimer
+from .incremental import IncrementalTimer, VerifyReport
 from .clock import ClockArrival, propagate_clock
 from .reports import (
     SlackHistogram,
@@ -17,6 +17,7 @@ from .reports import (
 
 __all__ = [
     "LutBank",
+    "CombinationalCycleError",
     "LevelizedArcs",
     "TimingGraph",
     "levelize",
@@ -31,6 +32,7 @@ __all__ = [
     "format_path",
     "worst_paths",
     "IncrementalTimer",
+    "VerifyReport",
     "ClockArrival",
     "propagate_clock",
     "SlackHistogram",

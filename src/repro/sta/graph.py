@@ -17,7 +17,7 @@ Setup checks at FF D pins and output ports are the timing endpoints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,19 +25,81 @@ from ..netlist.design import Design, PORT_IN_TYPE, PORT_OUT_TYPE
 from ..netlist.library import ArcKind, FALL, RISE
 from .nldm import LutBank
 
-__all__ = ["TimingGraph", "LevelizedArcs", "levelize"]
+__all__ = ["CombinationalCycleError", "TimingGraph", "LevelizedArcs", "levelize"]
+
+
+class CombinationalCycleError(ValueError):
+    """The propagation edge set contains a combinational cycle.
+
+    Carries the pin indices of one example cycle (``cycle_pins``, in walk
+    order) and the total number of pins levelisation could not reach, so
+    callers - the design validator in particular - can name the offending
+    logic instead of reporting a generic failure.
+    """
+
+    def __init__(
+        self,
+        cycle_pins: Sequence[int],
+        n_unreachable: int,
+        pin_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.cycle_pins = [int(p) for p in cycle_pins]
+        self.n_unreachable = int(n_unreachable)
+        if pin_names is not None:
+            shown = [str(pin_names[p]) for p in self.cycle_pins]
+        else:
+            shown = [f"pin#{p}" for p in self.cycle_pins]
+        preview = " -> ".join(shown[:8])
+        if len(shown) > 8:
+            preview += f" -> ... ({len(shown)} pins on the cycle)"
+        super().__init__(
+            "timing graph has a combinational cycle "
+            f"({self.n_unreachable} pins unreachable); example cycle: "
+            f"{preview} -> {shown[0]}"
+        )
+
+
+def _example_cycle(
+    edges_src: np.ndarray, edges_dst: np.ndarray, unresolved: np.ndarray
+) -> List[int]:
+    """Extract one cycle from the pins levelisation could not resolve.
+
+    Every unresolved pin has at least one unprocessed in-edge whose source
+    is itself unresolved, so walking predecessors inside the unresolved
+    set must revisit a pin - that revisit closes a cycle.
+    """
+    mask = unresolved[edges_src] & unresolved[edges_dst]
+    pred: dict = {}
+    for s, d in zip(edges_src[mask].tolist(), edges_dst[mask].tolist()):
+        pred.setdefault(d, s)
+    if not pred:
+        return []
+    node = next(iter(pred))
+    seen: dict = {}
+    path: List[int] = []
+    while node is not None and node not in seen:
+        seen[node] = len(path)
+        path.append(node)
+        node = pred.get(node)
+    if node is None:
+        return path  # defensive: dead-ends only, no closed walk found
+    return path[seen[node]:]
 
 
 def levelize(
-    edges_src: np.ndarray, edges_dst: np.ndarray, n_pins: int
+    edges_src: np.ndarray,
+    edges_dst: np.ndarray,
+    n_pins: int,
+    pin_names: Optional[Sequence[str]] = None,
 ) -> np.ndarray:
     """Longest-path levels of a pin DAG via wave-vectorised Kahn sweep.
 
     One whole frontier wave is processed per iteration: the frontier's
     out-edges are gathered from a CSR table in a single batch, sink levels
     are raised with a scatter-max and in-degrees are decremented with one
-    bincount per wave.  Raises :class:`ValueError` when the edge set has a
-    cycle (some pins never become ready).
+    bincount per wave.  Raises :class:`CombinationalCycleError` (a
+    ``ValueError``) naming an example cycle when the edge set is not a
+    DAG; ``pin_names`` (if given) makes the message name actual pins.
     """
     level = np.zeros(n_pins, dtype=np.int64)
     indegree = np.bincount(edges_dst, minlength=n_pins)
@@ -67,9 +129,11 @@ def levelize(
         candidates = np.unique(sinks)
         frontier = candidates[remaining[candidates] == 0]
     if visited != n_pins:
-        raise ValueError(
-            "timing graph has a combinational cycle "
-            f"({n_pins - visited} pins unreachable)"
+        unresolved = remaining > 0
+        raise CombinationalCycleError(
+            _example_cycle(edges_src, edges_dst, unresolved),
+            n_pins - visited,
+            pin_names,
         )
     return level
 
@@ -196,7 +260,7 @@ class TimingGraph:
         if len(edges_src):
             pairs = np.unique(np.stack([edges_src, edges_dst], axis=1), axis=0)
             edges_src, edges_dst = pairs[:, 0], pairs[:, 1]
-        level = levelize(edges_src, edges_dst, n_pins)
+        level = levelize(edges_src, edges_dst, n_pins, pin_names=design.pin_name)
         self.level = level
         self.n_levels = int(level.max()) + 1 if n_pins else 1
 

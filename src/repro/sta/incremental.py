@@ -24,6 +24,7 @@ test-suite).  This engine powers the timing-driven detailed placer in
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -39,10 +40,44 @@ from .analysis import StaticTimingAnalyzer
 from .elmore import elmore_forward, node_caps
 from .graph import TimingGraph
 
-__all__ = ["IncrementalTimer"]
+__all__ = ["IncrementalTimer", "VerifyReport"]
 
 _EPS = 1e-9
 _AT_SENTINEL = -1e30
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of :meth:`IncrementalTimer.verify`.
+
+    Truthy iff the incremental state matches the full re-analysis, so it
+    drops into boolean assertions; on mismatch it carries the worst
+    offender instead of leaving the caller with a bare ``False``.
+    """
+
+    ok: bool
+    #: Endpoint pin with the largest tolerance-normalised slack deviation
+    #: (-1 when the design has no endpoints).
+    worst_endpoint_pin: int
+    worst_endpoint_name: str
+    #: |incremental - golden| slack at that endpoint.
+    worst_slack_delta: float
+    wns_delta: float
+    tns_delta: float
+    n_endpoints: int
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"verify OK ({self.n_endpoints} endpoints)"
+        return (
+            f"verify FAILED: worst endpoint {self.worst_endpoint_name!r} "
+            f"(pin {self.worst_endpoint_pin}) slack off by "
+            f"{self.worst_slack_delta:.3e}; "
+            f"dWNS={self.wns_delta:.3e} dTNS={self.tns_delta:.3e}"
+        )
 
 
 class IncrementalTimer:
@@ -418,16 +453,42 @@ class IncrementalTimer:
             ).min(axis=1)
 
     # ------------------------------------------------------------------
-    def verify(self, rtol: float = 1e-6, atol: float = 1e-6) -> bool:
+    def verify(self, rtol: float = 1e-6, atol: float = 1e-6) -> "VerifyReport":
         """Cross-check the incremental state against a full re-analysis.
+
+        Returns a :class:`VerifyReport` that is truthy when the state
+        matches (so ``assert timer.verify()`` still works) and, on a
+        mismatch, names the worst-offending endpoint pin and the
+        magnitude of the slack/WNS/TNS drift - the data actually needed to
+        debug a divergent incremental update.
 
         Note: the full analysis re-routes every net from scratch, so trees
         of *unmoved* nets must coincide; this holds because RSMT
         construction is deterministic in the pin coordinates.
         """
         result = self._sta.run(self.x, self.y)
-        return bool(
-            np.allclose(self.ep_slack, result.endpoint_slack, rtol=rtol, atol=atol)
-            and abs(self.wns - result.wns_setup) <= atol + rtol * abs(result.wns_setup)
-            and abs(self.tns - result.tns_setup) <= atol + rtol * abs(result.tns_setup)
+        delta = np.abs(self.ep_slack - result.endpoint_slack)
+        tolerance = atol + rtol * np.abs(result.endpoint_slack)
+        slack_ok = bool(np.all(delta <= tolerance))
+        wns_delta = self.wns - result.wns_setup
+        tns_delta = self.tns - result.tns_setup
+        wns_ok = abs(wns_delta) <= atol + rtol * abs(result.wns_setup)
+        tns_ok = abs(tns_delta) <= atol + rtol * abs(result.tns_setup)
+
+        worst_pin = -1
+        worst_pin_name = ""
+        worst_delta = 0.0
+        if len(delta):
+            k = int(np.argmax(delta - tolerance))
+            worst_pin = int(self.graph.endpoint_pins[k])
+            worst_pin_name = self.design.pin_name[worst_pin]
+            worst_delta = float(delta[k])
+        return VerifyReport(
+            ok=slack_ok and wns_ok and tns_ok,
+            worst_endpoint_pin=worst_pin,
+            worst_endpoint_name=worst_pin_name,
+            worst_slack_delta=worst_delta,
+            wns_delta=float(wns_delta),
+            tns_delta=float(tns_delta),
+            n_endpoints=len(delta),
         )

@@ -25,6 +25,32 @@ class TestBaseline:
     def test_verify_passes_initially(self, timer):
         assert timer.verify()
 
+    def test_verify_report_fields_on_pass(self, timer):
+        from repro.sta import VerifyReport
+
+        report = timer.verify()
+        assert isinstance(report, VerifyReport)
+        assert report.ok and bool(report)
+        assert report.n_endpoints == len(timer.ep_slack)
+        assert "OK" in str(report)
+
+    def test_verify_report_names_worst_endpoint_on_mismatch(
+        self, timer, small_design
+    ):
+        # Corrupt one endpoint's cached slack: verify must fail and point
+        # at that exact endpoint with the deviation magnitude.
+        k = 2
+        timer.ep_slack[k] += 123.0
+        timer._refresh_totals()
+        report = timer.verify()
+        assert not report
+        pin = int(timer.graph.endpoint_pins[k])
+        assert report.worst_endpoint_pin == pin
+        assert report.worst_endpoint_name == small_design.pin_name[pin]
+        assert report.worst_slack_delta == pytest.approx(123.0)
+        assert "FAILED" in str(report)
+        assert report.worst_endpoint_name in str(report)
+
 
 class TestSingleMoves:
     def test_random_moves_match_golden(self, timer, small_design):

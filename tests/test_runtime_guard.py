@@ -1,0 +1,101 @@
+"""Numerical guard unit tests (repro.runtime.guard).
+
+The guard must zero a poisoned term in place, count and expose every
+event, track consecutive failures for escalation, and round-trip its
+state through checkpoints.
+"""
+
+import numpy as np
+
+from repro.runtime import NumericalGuard
+
+
+class TestCheckTerm:
+    def test_healthy_term_untouched(self):
+        guard = NumericalGuard(log=False)
+        gx = np.array([1.0, -2.0, 3.0])
+        gy = np.array([0.5, 0.0, -1.0])
+        assert guard.check_term("wirelength", 0, gx, gy)
+        np.testing.assert_array_equal(gx, [1.0, -2.0, 3.0])
+        assert guard.total_quarantines == 0
+
+    def test_nan_quarantines_and_zeroes_in_place(self):
+        guard = NumericalGuard(log=False)
+        gx = np.array([1.0, np.nan, 3.0])
+        gy = np.array([0.5, 0.0, np.inf])
+        assert not guard.check_term("timing", 7, gx, gy)
+        np.testing.assert_array_equal(gx, 0.0)
+        np.testing.assert_array_equal(gy, 0.0)
+        assert guard.quarantine_counts["timing"] == 1
+        assert guard.nonfinite_entries == 2
+
+    def test_counts_are_per_term(self):
+        guard = NumericalGuard(log=False)
+        bad = np.array([np.nan])
+        guard.check_term("timing", 0, bad.copy())
+        guard.check_term("timing", 1, bad.copy())
+        guard.check_term("density", 1, bad.copy())
+        assert guard.summary() == {"timing": 2, "density": 1}
+        assert guard.total_quarantines == 3
+
+    def test_consecutive_resets_on_healthy_iteration(self):
+        guard = NumericalGuard(log=False)
+        bad = np.array([np.nan])
+        ok = np.array([1.0])
+        guard.check_term("timing", 0, bad.copy())
+        guard.check_term("timing", 1, bad.copy())
+        assert guard.worst_consecutive() == 2
+        guard.check_term("timing", 2, ok.copy())
+        assert guard.worst_consecutive() == 0
+
+    def test_reset_consecutive_keeps_totals(self):
+        guard = NumericalGuard(log=False)
+        bad = np.array([np.nan])
+        guard.check_term("timing", 0, bad.copy())
+        guard.reset_consecutive()
+        assert guard.worst_consecutive() == 0
+        assert guard.quarantine_counts["timing"] == 1
+
+
+class TestExceptionsAndScrub:
+    def test_record_exception_counts_and_escalates(self):
+        guard = NumericalGuard(log=False)
+        guard.record_exception("timing", 3, RuntimeError("boom"))
+        assert guard.exception_counts["timing"] == 1
+        assert guard.worst_consecutive() == 1
+        assert guard.summary() == {"timing": 1, "timing_exceptions": 1}
+
+    def test_scrub_replaces_only_offending_entries(self):
+        guard = NumericalGuard(log=False)
+        grad = np.array([1.0, np.nan, -2.0, np.inf])
+        n = guard.scrub("combined", 0, grad)
+        assert n == 2
+        np.testing.assert_array_equal(grad, [1.0, 0.0, -2.0, 0.0])
+
+    def test_scrub_clean_is_free(self):
+        guard = NumericalGuard(log=False)
+        grad = np.array([1.0, -2.0])
+        assert guard.scrub("combined", 0, grad) == 0
+        assert guard.total_quarantines == 0
+
+
+class TestStateRoundTrip:
+    def test_get_set_state(self):
+        guard = NumericalGuard(log=False)
+        bad = np.array([np.nan])
+        guard.check_term("timing", 0, bad.copy())
+        guard.record_exception("density", 1, ValueError("x"))
+        state = guard.get_state()
+
+        other = NumericalGuard(log=False)
+        other.set_state(state)
+        assert other.quarantine_counts == guard.quarantine_counts
+        assert other.exception_counts == guard.exception_counts
+        assert other.consecutive == guard.consecutive
+        assert other.nonfinite_entries == guard.nonfinite_entries
+
+    def test_set_state_empty_is_noop(self):
+        guard = NumericalGuard(log=False)
+        guard.set_state({})
+        guard.set_state(None)
+        assert guard.total_quarantines == 0
