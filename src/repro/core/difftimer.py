@@ -73,6 +73,10 @@ class TimerTape:
     setup_dsetup_dslew: np.ndarray  # (n_setup, 2)
     tns: float
     wns: float
+    #: Fraction of endpoints whose rise/fall slack gap exceeds 20*gamma,
+    #: i.e. where the transition softmin has saturated to a hard min and
+    #: the smoothing no longer blends the two transitions.
+    lse_saturation: float = 0.0
 
     @property
     def wns_exact_of_smoothed(self) -> float:
@@ -222,6 +226,12 @@ class DifferentiableTimer:
             if graph.n_endpoints:
                 tape.tns = float(soft_clamp_neg(tape.ep_slack, gamma).sum())
                 tape.wns = float(lse_min(tape.ep_slack, gamma))
+                tape.lse_saturation = float(
+                    np.mean(
+                        np.abs(tape.ep_slack_t[:, 0] - tape.ep_slack_t[:, 1])
+                        > 20.0 * gamma
+                    )
+                )
             else:
                 # No setup checks or output ports: timing is trivially met
                 # (lse_min over an empty array would raise).

@@ -19,6 +19,7 @@ from ..netlist.design import Design
 from ..route.rsmt import build_forest
 from ..route.tree import Forest
 from ..sta.graph import TimingGraph
+from ..telemetry.events import current_recorder
 from .difftimer import DifferentiableTimer
 
 __all__ = ["TimingObjectiveOptions", "TimingObjective"]
@@ -81,8 +82,10 @@ class TimingObjective:
         self._norm_cache: Optional[Tuple[float, float]] = None
         self._iters_since_norms = 0
         self.n_rsmt_calls = 0
+        self.n_rsmt_reuses = 0
         self.n_timer_calls = 0
         self.n_backward_calls = 0
+        self._last_forest_reused = False
 
     # ------------------------------------------------------------------
     def forest_for(
@@ -102,6 +105,15 @@ class TimingObjective:
             self._forest_coords = (cell_x.copy(), cell_y.copy())
             self._iters_since_rsmt = 0
             self.n_rsmt_calls += 1
+            self._last_forest_reused = False
+            recorder = current_recorder()
+            if recorder is not None:
+                recorder.counter(
+                    "rsmt_rebuilds", self.n_rsmt_calls, iteration=iteration
+                )
+        else:
+            self.n_rsmt_reuses += 1
+            self._last_forest_reused = True
         self._iters_since_rsmt += 1
         return self._forest
 
@@ -142,6 +154,7 @@ class TimingObjective:
             "norm_cache": self._norm_cache,
             "iters_since_norms": self._iters_since_norms,
             "n_rsmt_calls": self.n_rsmt_calls,
+            "n_rsmt_reuses": self.n_rsmt_reuses,
             "n_timer_calls": self.n_timer_calls,
             "n_backward_calls": self.n_backward_calls,
         }
@@ -164,6 +177,7 @@ class TimingObjective:
         self._norm_cache = None if nc is None else (float(nc[0]), float(nc[1]))
         self._iters_since_norms = int(state.get("iters_since_norms", 0))
         self.n_rsmt_calls = int(state.get("n_rsmt_calls", 0))
+        self.n_rsmt_reuses = int(state.get("n_rsmt_reuses", 0))
         self.n_timer_calls = int(state.get("n_timer_calls", 0))
         self.n_backward_calls = int(state.get("n_backward_calls", 0))
 
@@ -252,5 +266,7 @@ class TimingObjective:
             "wns_smoothed": tape.wns,
             "tns_frac": f_tns,
             "wns_frac": f_wns,
+            "lse_saturation": tape.lse_saturation,
+            "rsmt_cache_hit": 1.0 if self._last_forest_reused else 0.0,
         }
         return g_x, g_y, metrics

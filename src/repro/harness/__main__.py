@@ -10,11 +10,19 @@ Usage::
     python -m repro.harness --checkpoint-every 50    # resumable runs
     python -m repro.harness --resume benchmarks/results/checkpoints/... \
         --designs miniblue1 --mode ours     # restart a killed run
+
+Telemetry toolchain (subcommands)::
+
+    python -m repro.harness run --design miniblue1 --mode ours \
+        --telemetry out/                    # one instrumented run
+    python -m repro.harness report out/<run_id>       # markdown + curves
+    python -m repro.harness compare out/<a> out/<b>   # regression gate
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from ..place.placer import PlacerOptions
 from ..runtime import validate_design
@@ -22,6 +30,9 @@ from .curves import format_fig8, run_fig8
 from .runners import MODES, run_mode
 from .suite import format_table2, load_design
 from .table3 import format_table3, run_table3
+
+#: Subcommand names; anything else falls through to the legacy flag CLI.
+_SUBCOMMANDS = ("run", "report", "compare")
 
 
 def _run_validate(designs) -> int:
@@ -58,7 +69,124 @@ def _run_resume(path: str, designs, mode: str, args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    """``run``: one instrumented (design, mode) placement."""
+    design = load_design(args.design)
+    record = run_mode(
+        design,
+        args.mode,
+        placer_options=PlacerOptions(
+            max_iters=args.max_iters,
+            seed=args.seed,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=args.resume,
+        ),
+        profile=args.profile,
+        telemetry_dir=args.telemetry,
+        run_id=args.run_id,
+    )
+    print(record.summary())
+    if record.nonfinite_events:
+        print(f"guard events: {record.nonfinite_events}")
+    if record.run_dir:
+        print(f"telemetry: {record.run_dir}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """``report``: render one telemetry run to markdown + SVG curves."""
+    from ..telemetry.report import render_report
+
+    markdown = render_report(args.run_dir, out_dir=args.out)
+    print(markdown)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    """``compare``: gate run B against run A; exit 1 on regression."""
+    from ..telemetry.compare import compare_runs
+
+    result = compare_runs(
+        args.run_a,
+        args.run_b,
+        rtol=args.rtol,
+        atol=args.atol,
+        span_rtol=args.span_rtol,
+    )
+    print(result.format())
+    return 0 if result.ok else 1
+
+
+def _subcommand_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Telemetry toolchain: instrumented runs, reports, "
+        "run-vs-run regression gating.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="one instrumented placement run")
+    run_p.add_argument("--design", required=True, help="suite design name")
+    run_p.add_argument("--mode", choices=MODES, default="ours")
+    run_p.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="write manifest.json + events.jsonl under DIR/<run_id>/",
+    )
+    run_p.add_argument(
+        "--run-id",
+        default=None,
+        help="explicit run id (default: <design>_<mode>_<timestamp>...)",
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--max-iters", type=int, default=600)
+    run_p.add_argument("--profile", action="store_true")
+    run_p.add_argument("--checkpoint-every", type=int, default=0, metavar="N")
+    run_p.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file to restart from (with --telemetry pointing "
+        "at the original run directory, its event stream is continued)",
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    rep_p = sub.add_parser("report", help="render one run's telemetry")
+    rep_p.add_argument("run_dir", help="telemetry run directory")
+    rep_p.add_argument(
+        "--out", default=None, help="output directory (default: run_dir)"
+    )
+    rep_p.set_defaults(func=_cmd_report)
+
+    cmp_p = sub.add_parser(
+        "compare", help="diff two runs; nonzero exit on regression"
+    )
+    cmp_p.add_argument("run_a", help="baseline run directory")
+    cmp_p.add_argument("run_b", help="candidate run directory")
+    cmp_p.add_argument(
+        "--rtol",
+        type=float,
+        default=1e-6,
+        help="relative tolerance on gated final metrics (default 1e-6)",
+    )
+    cmp_p.add_argument("--atol", type=float, default=1e-9)
+    cmp_p.add_argument(
+        "--span-rtol",
+        type=float,
+        default=None,
+        help="also gate per-span wall time at this relative tolerance "
+        "(default: span timing is informational)",
+    )
+    cmp_p.set_defaults(func=_cmd_compare)
+    return parser
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        args = _subcommand_parser().parse_args(argv)
+        return args.func(args)
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the DAC 2022 differentiable-timing "

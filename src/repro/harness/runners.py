@@ -7,6 +7,7 @@ placement itself, and the per-iteration trace for curve plots.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from dataclasses import dataclass, field
@@ -21,6 +22,9 @@ from ..perf import PROFILER
 from ..place.netweight import NetWeightingPlacer, NetWeightOptions
 from ..place.placer import GlobalPlacer, PlacerOptions, PlacerResult
 from ..sta.analysis import run_sta
+from ..telemetry.events import recording
+from ..telemetry.manifest import make_run_id
+from ..telemetry.session import RunSession, start_run
 
 __all__ = ["MODES", "RunRecord", "run_mode", "PROFILE_DIR"]
 
@@ -52,6 +56,8 @@ class RunRecord:
     nonfinite_events: Dict[str, int] = field(default_factory=dict)
     #: Escalated recoveries (step-shrink retries + checkpoint rollbacks).
     recoveries: int = 0
+    #: Telemetry run directory (``telemetry_dir`` runs only).
+    run_dir: Optional[str] = None
 
     def summary(self) -> str:
         return (
@@ -70,6 +76,8 @@ def run_mode(
     with_trace_sta: bool = False,
     profile: bool = False,
     profile_dir: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
+    run_id: Optional[str] = None,
 ) -> RunRecord:
     """Run one of the three Table 3 placers on a design.
 
@@ -78,10 +86,19 @@ def run_mode(
     re-measured around the placement call only.
 
     ``profile=True`` turns the shared :data:`repro.perf.PROFILER` on for
-    the duration of the run and dumps the per-kernel breakdown to
-    ``<profile_dir>/profile_<design>_<mode>.txt`` (default
-    ``benchmarks/results/``); the stats dict is also attached to the
-    returned record.
+    the duration of the run and dumps the hierarchical span breakdown to
+    ``<profile_dir>/profile_<design>_<mode>_<run_id>.txt`` (default
+    directory ``benchmarks/results/``), updating a
+    ``profile_<design>_<mode>_latest.txt`` pointer; the flat stats dict
+    is also attached to the returned record.
+
+    ``telemetry_dir`` opens a telemetry run under that directory (see
+    :func:`repro.telemetry.session.start_run`): every layer's recorder
+    events stream to ``events.jsonl`` and the run manifest is finalized
+    with the golden-STA outcome and the span tree.  When the placer
+    options carry ``resume_from``, the telemetry run resumes too
+    (``telemetry_dir`` may then point directly at the original run
+    directory).
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -89,43 +106,86 @@ def run_mode(
         max_iters=600
     )
 
+    session: Optional[RunSession] = None
+    if telemetry_dir is not None:
+        session = start_run(
+            telemetry_dir,
+            design=design.name,
+            mode=mode,
+            seed=popts.seed,
+            options={
+                "optimizer": popts.optimizer,
+                "max_iters": popts.max_iters,
+                "trace_every": popts.trace_every,
+                "checkpoint_every": popts.checkpoint_every,
+                "with_trace_sta": with_trace_sta,
+            },
+            run_id=run_id,
+            resume=bool(popts.resume_from),
+        )
+
+    # The session enables the profiler itself (the manifest carries the
+    # span tree); --profile without telemetry keeps the legacy behaviour.
+    use_prof = profile or session is not None
     was_enabled = PROFILER.enabled
-    if profile:
+    if profile and session is None:
         PROFILER.reset()
         PROFILER.enable()
 
-    start = time.perf_counter()
-    if mode == "dreamplace":
-        hook = _sta_trace_hook(design, every=10) if with_trace_sta else None
-        result: PlacerResult = GlobalPlacer(
-            design, popts, extra_grad_fn=hook
-        ).run()
-    elif mode == "netweight":
-        result = NetWeightingPlacer(design, popts, nw_options).run()
-    else:
-        tp_options = TimingPlacerOptions(
-            placer=popts,
-            timing=timing_options
-            if timing_options is not None
-            else TimingObjectiveOptions(),
-            sta_in_trace=with_trace_sta,
-        )
-        result = TimingDrivenPlacer(design, tp_options).run()
-    runtime = time.perf_counter() - start
+    try:
+        with recording(session.recorder) if session is not None else _noop():
+            start = time.perf_counter()
+            if mode == "dreamplace":
+                hook = (
+                    _sta_trace_hook(design, every=10)
+                    if with_trace_sta
+                    else None
+                )
+                result: PlacerResult = GlobalPlacer(
+                    design, popts, extra_grad_fn=hook
+                ).run()
+            elif mode == "netweight":
+                result = NetWeightingPlacer(design, popts, nw_options).run()
+            else:
+                tp_options = TimingPlacerOptions(
+                    placer=popts,
+                    timing=timing_options
+                    if timing_options is not None
+                    else TimingObjectiveOptions(),
+                    sta_in_trace=with_trace_sta,
+                )
+                result = TimingDrivenPlacer(design, tp_options).run()
+            runtime = time.perf_counter() - start
+    except BaseException:
+        if session is not None:
+            session.finalize(final_metrics={"stop_reason": "exception"})
+        raise
 
     stats = None
-    if profile:
+    if use_prof:
         stats = PROFILER.stats()
+    if profile:
         out_dir = profile_dir if profile_dir is not None else PROFILE_DIR
-        os.makedirs(out_dir, exist_ok=True)
-        path = os.path.join(out_dir, f"profile_{design.name}_{mode}.txt")
-        with open(path, "w") as handle:
-            handle.write(
-                PROFILER.report(f"{design.name} / {mode}") + "\n"
-            )
-        PROFILER.enabled = was_enabled
+        rid = session.run_id if session is not None else make_run_id(
+            design.name, mode
+        )
+        _dump_profile(out_dir, design.name, mode, rid)
+        if session is None:
+            PROFILER.enabled = was_enabled
 
     final = run_sta(design, result.x, result.y)
+    if session is not None:
+        session.finalize(
+            final_metrics={
+                "wns": final.wns_setup,
+                "tns": final.tns_setup,
+                "hpwl": result.hpwl,
+                "overflow": result.overflow,
+                "iterations": result.iterations,
+                "stop_reason": result.stop_reason,
+                "runtime": runtime,
+            }
+        )
     return RunRecord(
         design=design.name,
         mode=mode,
@@ -141,7 +201,43 @@ def run_mode(
         profile=stats,
         nonfinite_events=result.nonfinite_events,
         recoveries=result.recoveries,
+        run_dir=session.run_dir if session is not None else None,
     )
+
+
+@contextlib.contextmanager
+def _noop():
+    yield None
+
+
+def _dump_profile(out_dir: str, design: str, mode: str, run_id: str) -> str:
+    """Write this run's span breakdown without clobbering earlier runs.
+
+    Each dump gets a unique ``profile_<design>_<mode>_<run_id>.txt``; a
+    ``profile_<design>_<mode>_latest.txt`` symlink points at the newest
+    one (on filesystems without symlink support it degrades to a pointer
+    file containing the dump's filename).
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    # Auto run ids already start with "<design>_<mode>_"; don't repeat it.
+    suffix = run_id[len(f"{design}_{mode}_"):] if run_id.startswith(
+        f"{design}_{mode}_"
+    ) else run_id
+    name = f"profile_{design}_{mode}_{suffix}.txt"
+    path = os.path.join(out_dir, name)
+    with open(path, "w") as handle:
+        handle.write(PROFILER.report(f"{design} / {mode}") + "\n")
+        handle.write("\n")
+        handle.write(PROFILER.span_report(f"{design} / {mode} spans") + "\n")
+    latest = os.path.join(out_dir, f"profile_{design}_{mode}_latest.txt")
+    try:
+        if os.path.islink(latest) or os.path.exists(latest):
+            os.remove(latest)
+        os.symlink(name, latest)
+    except OSError:
+        with open(latest, "w") as handle:
+            handle.write(name + "\n")
+    return path
 
 
 def _sta_trace_hook(design: Design, every: int = 10):

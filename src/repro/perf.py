@@ -1,27 +1,50 @@
-"""Lightweight per-stage instrumentation for the timing hot paths.
+"""Hierarchical per-stage instrumentation for the timing hot paths.
 
 Every kernel stage of the differentiable timer, the golden routing pass
 and the incremental engine is wrapped in a named :meth:`Timer.stage`
 context.  When profiling is off (the default) the context manager is a
 shared no-op singleton, so the overhead on the hot path is a single
-attribute check per stage.  When on, each stage accumulates wall-clock
-time and an invocation counter, queryable as a plain dict via
-:meth:`Timer.stats` or rendered as a table via :meth:`Timer.report`.
+attribute check per stage.  When on, nested ``stage`` contexts build a
+*call tree*: each span accumulates wall-clock time, an invocation
+counter, and optional named counters (:meth:`Timer.incr`), with
+self-time (time not attributed to child spans) derived per node.
+
+Accumulation is thread-safe: each thread keeps its own span stack
+(``threading.local``) while all threads merge into one shared tree under
+a lock, so two threads timing the same stage name sum their calls and
+seconds instead of corrupting each other.
+
+Three read-out shapes are offered:
+
+- :meth:`Timer.stats` - flat ``{stage: {calls, total_s, mean_s}}``
+  aggregated over every tree position of a name (the historical API;
+  every pre-existing call site keeps working);
+- :meth:`Timer.tree` - the nested span tree as plain dicts (JSON-ready,
+  embedded in telemetry run manifests);
+- :meth:`Timer.span_report` - an indented table with total vs self time.
 
 Profiling is enabled either explicitly (``Timer(enabled=True)``,
-``PROFILER.enable()``, the harness ``--profile`` flag) or globally via the
-``REPRO_PROFILE`` environment variable (any non-empty value other than
-``0``/``false``/``off``).  Library code shares the module-level
-:data:`PROFILER` instance so one switch captures every layer of a run.
+``PROFILER.enable()``, the harness ``--profile`` flag, a telemetry run)
+or globally via the ``REPRO_PROFILE`` environment variable (any
+non-empty value other than ``0``/``false``/``off``).  Library code
+shares the module-level :data:`PROFILER` instance so one switch captures
+every layer of a run.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Timer", "PROFILER", "get_profiler", "profile_enabled_by_env"]
+__all__ = [
+    "Timer",
+    "PROFILER",
+    "get_profiler",
+    "profile_enabled_by_env",
+    "format_span_tree",
+]
 
 
 def profile_enabled_by_env() -> bool:
@@ -45,8 +68,37 @@ class _NullStage:
 _NULL_STAGE = _NullStage()
 
 
+class _SpanNode:
+    """One position in the span tree: a stage name under a parent path."""
+
+    __slots__ = ("name", "total_s", "calls", "counters", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_s = 0.0
+        self.calls = 0
+        self.counters: Dict[str, int] = {}
+        self.children: Dict[str, "_SpanNode"] = {}
+
+    def self_s(self) -> float:
+        return self.total_s - sum(c.total_s for c in self.children.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        children = sorted(
+            self.children.values(), key=lambda c: -c.total_s
+        )
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s(),
+            "counters": dict(self.counters),
+            "children": [c.as_dict() for c in children],
+        }
+
+
 class _Stage:
-    """Times one ``with`` block and accumulates into its timer."""
+    """Times one ``with`` block and accumulates into its timer's tree."""
 
     __slots__ = ("_timer", "_name", "_t0")
 
@@ -55,21 +107,23 @@ class _Stage:
         self._name = name
 
     def __enter__(self):
+        self._timer._push(self._name)
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        self._timer.add(self._name, time.perf_counter() - self._t0)
+        self._timer._pop(self._name, time.perf_counter() - self._t0)
         return False
 
 
 class Timer:
-    """Per-stage wall-time accumulator with invocation counters."""
+    """Hierarchical per-stage wall-time accumulator with counters."""
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = bool(enabled) or profile_enabled_by_env()
-        self._total: Dict[str, float] = {}
-        self._calls: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._root = _SpanNode("")
+        self._tls = threading.local()
 
     # ------------------------------------------------------------------
     def enable(self) -> None:
@@ -79,36 +133,140 @@ class Timer:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop all accumulated stage data (the on/off state is kept)."""
-        self._total.clear()
-        self._calls.clear()
+        """Drop all accumulated span data (the on/off state is kept)."""
+        with self._lock:
+            self._root = _SpanNode("")
+
+    # ------------------------------------------------------------------
+    # Per-thread span stack.  Stacks hold *names*; the tree node is
+    # resolved (and created) under the lock at accumulation time, so a
+    # concurrent reset() never leaves a thread holding a stale node.
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _push(self, name: str) -> None:
+        self._stack().append(name)
+
+    def _pop(self, name: str, seconds: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == name:
+            stack.pop()
+        self._accumulate(tuple(stack) + (name,), seconds, 1)
+
+    def _node_at(self, path: Tuple[str, ...]) -> _SpanNode:
+        node = self._root
+        for name in path:
+            child = node.children.get(name)
+            if child is None:
+                child = _SpanNode(name)
+                node.children[name] = child
+            node = child
+        return node
+
+    def _accumulate(
+        self, path: Tuple[str, ...], seconds: float, calls: int
+    ) -> None:
+        with self._lock:
+            node = self._node_at(path)
+            node.total_s += seconds
+            node.calls += calls
 
     # ------------------------------------------------------------------
     def stage(self, name: str):
-        """Context manager timing one named stage (no-op when disabled)."""
+        """Context manager timing one named stage (no-op when disabled).
+
+        Nested ``stage`` contexts - including across the existing call
+        sites, which already nest naturally - build the span tree.
+        """
         if not self.enabled:
             return _NULL_STAGE
         return _Stage(self, name)
 
     def add(self, name: str, seconds: float, calls: int = 1) -> None:
-        """Record ``seconds`` of wall time against ``name`` directly."""
-        self._total[name] = self._total.get(name, 0.0) + seconds
-        self._calls[name] = self._calls.get(name, 0) + calls
+        """Record ``seconds`` of wall time against ``name`` directly.
+
+        The span is attached under the calling thread's current stage
+        (or at the top level outside any stage).  Thread-safe.
+        """
+        self._accumulate(tuple(self._stack()) + (name,), seconds, calls)
+
+    def incr(self, counter: str, n: int = 1) -> None:
+        """Bump a named counter on the calling thread's current span.
+
+        No-op when profiling is disabled (counters ride on the span
+        tree, which only exists while profiling).
+        """
+        if not self.enabled:
+            return
+        path = tuple(self._stack())
+        with self._lock:
+            node = self._node_at(path)
+            node.counters[counter] = node.counters.get(counter, 0) + n
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Dict[str, float]]:
-        """Snapshot: ``{stage: {calls, total_s, mean_s}}``."""
+        """Flat snapshot ``{stage: {calls, total_s, mean_s}}``.
+
+        A name appearing at several tree positions (e.g. a shared helper
+        stage under different parents) is aggregated, matching the
+        behaviour of the historical flat profiler.
+        """
+        totals: Dict[str, float] = {}
+        calls: Dict[str, int] = {}
+
+        def walk(node: _SpanNode) -> None:
+            for child in node.children.values():
+                totals[child.name] = totals.get(child.name, 0.0) + child.total_s
+                calls[child.name] = calls.get(child.name, 0) + child.calls
+                walk(child)
+
+        with self._lock:
+            walk(self._root)
         return {
             name: {
-                "calls": self._calls[name],
-                "total_s": self._total[name],
-                "mean_s": self._total[name] / max(self._calls[name], 1),
+                "calls": calls[name],
+                "total_s": totals[name],
+                "mean_s": totals[name] / max(calls[name], 1),
             }
-            for name in self._total
+            for name in totals
         }
 
+    def tree(self) -> Dict[str, object]:
+        """The span tree as nested plain dicts (JSON-serializable).
+
+        The synthetic root aggregates every top-level span; each node
+        carries ``name``/``calls``/``total_s``/``self_s``/``counters``
+        and a ``children`` list sorted by descending total time.
+        """
+        with self._lock:
+            out = self._root.as_dict()
+        out["name"] = "run"
+        out["total_s"] = sum(c["total_s"] for c in out["children"])
+        out["self_s"] = 0.0
+        return out
+
+    def counters(self) -> Dict[str, int]:
+        """All counters aggregated by name across the whole tree."""
+        out: Dict[str, int] = {}
+
+        def walk(node: _SpanNode) -> None:
+            for name, n in node.counters.items():
+                out[name] = out.get(name, 0) + n
+            for child in node.children.values():
+                walk(child)
+
+        with self._lock:
+            walk(self._root)
+        return out
+
+    # ------------------------------------------------------------------
     def report(self, title: str = "per-kernel breakdown") -> str:
-        """Render the accumulated stages as an aligned text table."""
+        """Render the flat per-stage aggregate as an aligned text table."""
         stats = self.stats()
         lines = [
             f"# {title}",
@@ -123,6 +281,36 @@ class Timer:
         if not stats:
             lines.append("(no stages recorded)")
         return "\n".join(lines)
+
+    def span_report(self, title: str = "span tree") -> str:
+        """Render the hierarchical span tree with total vs self time."""
+        return format_span_tree(self.tree(), title)
+
+
+def format_span_tree(tree: Dict[str, object], title: str = "span tree") -> str:
+    """Render a :meth:`Timer.tree`-shaped dict as an indented table."""
+    lines = [
+        f"# {title}",
+        f"{'span':<44} {'calls':>8} {'total(s)':>10} {'self(s)':>10}",
+    ]
+
+    def walk(node: Dict[str, object], depth: int) -> None:
+        label = "  " * depth + str(node["name"])
+        lines.append(
+            f"{label:<44} {node['calls']:>8d} {node['total_s']:>10.4f} "
+            f"{node['self_s']:>10.4f}"
+        )
+        for key, value in sorted(dict(node.get("counters", {})).items()):
+            lines.append(f"{'  ' * (depth + 1) + '#' + key:<44} {value:>8d}")
+        for child in node.get("children", []):
+            walk(child, depth + 1)
+
+    children = tree.get("children", [])
+    for child in children:
+        walk(child, 0)
+    if not children:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
 
 
 #: Shared default profiler; library hot paths time against this instance.

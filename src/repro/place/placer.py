@@ -49,6 +49,7 @@ from ..runtime.validate import (
     ValidationReport,
     validate_design,
 )
+from ..telemetry.events import current_recorder
 from .density import DensityModel
 from .optimizer import make_optimizer
 from .wirelength import WAWirelength, hpwl
@@ -131,8 +132,27 @@ class PlacerResult:
     fault_log: List[str] = field(default_factory=list)
 
     def series(self, key: str) -> Tuple[np.ndarray, np.ndarray]:
-        """Extract (iteration, value) arrays for one traced metric."""
+        """Extract (iteration, value) arrays for one traced metric.
+
+        Always-traced keys: ``hpwl``, ``overflow``, ``lambda``.  Runs
+        with the timing objective additionally trace ``tns_smoothed``,
+        ``wns_smoothed``, ``tns_frac``, ``wns_frac``, ``lse_saturation``
+        and ``rsmt_cache_hit`` (and, with golden-STA sampling on,
+        periodic ``wns``/``tns``).  The same keys appear as ``metrics``
+        of the telemetry stream's ``iteration`` events.
+
+        Raises :class:`KeyError` naming the available keys when ``key``
+        was never traced (a silent empty series usually means a typo).
+        """
         its = [t["iteration"] for t in self.trace if key in t]
+        if not its:
+            available = sorted(
+                {k for t in self.trace for k in t} - {"iteration"}
+            )
+            raise KeyError(
+                f"metric {key!r} was never traced; "
+                f"available keys: {available}"
+            )
         vals = [t[key] for t in self.trace if key in t]
         return np.asarray(its), np.asarray(vals)
 
@@ -222,6 +242,7 @@ class GlobalPlacer:
         injector = self.fault_injector
         if injector is None:
             injector = FaultInjector(FaultSpec.from_env())
+        recorder = current_recorder()
 
         n = design.n_cells
         xl, yl, xh, yh = design.die
@@ -285,6 +306,21 @@ class GlobalPlacer:
             best_pos = pos.copy()
             recent_hpwl = []
             start_iter = 0
+
+        if recorder is not None:
+            if resume_cp is not None:
+                # Events the restarted trajectory will re-emit are
+                # dropped so the stream keeps one duplicate-free history.
+                recorder.truncate_from(start_iter)
+            recorder.event(
+                "run_start",
+                iteration=start_iter,
+                design=design.name,
+                optimizer=opts.optimizer,
+                seed=opts.seed,
+                max_iters=opts.max_iters,
+                resumed=resume_cp is not None,
+            )
 
         trace: List[Dict[str, float]] = []
         stop_reason = "max_iters"
@@ -436,6 +472,12 @@ class GlobalPlacer:
                             optimizer.restart()
                             guard.reset_consecutive()
                             retries += 1
+                            if recorder is not None:
+                                recorder.event(
+                                    "recovery",
+                                    iteration=iteration,
+                                    action="optimizer_restart",
+                                )
                         elif (
                             rollbacks < opts.max_recoveries
                             and manager.best_path() is not None
@@ -446,11 +488,22 @@ class GlobalPlacer:
                                 "back to checkpoint at iteration %d",
                                 iteration, cp.iteration,
                             )
+                            if recorder is not None:
+                                # iteration=None keeps the recovery record
+                                # out of reach of iteration truncation.
+                                recorder.event(
+                                    "recovery",
+                                    action="checkpoint_rollback",
+                                    fault_iteration=iteration,
+                                    target_iteration=cp.iteration,
+                                )
                             restore_checkpoint(cp)
                             if hasattr(optimizer, "restart"):
                                 optimizer.restart()
                             guard.reset_consecutive()
                             rollbacks += 1
+                            if recorder is not None:
+                                recorder.truncate_from(iteration)
                             continue
 
                 pos = optimizer.step(grad)
@@ -490,15 +543,30 @@ class GlobalPlacer:
                             "%.3f; rolling back to checkpoint at iteration %d",
                             iteration, overflow, best_overflow, cp.iteration,
                         )
+                        if recorder is not None:
+                            recorder.event(
+                                "recovery",
+                                action="checkpoint_rollback",
+                                fault_iteration=iteration,
+                                target_iteration=cp.iteration,
+                            )
                         restore_checkpoint(cp)
                         if hasattr(optimizer, "restart"):
                             optimizer.restart()
                         if guard is not None:
                             guard.reset_consecutive()
                         rollbacks += 1
+                        if recorder is not None:
+                            recorder.truncate_from(iteration)
                         continue
                     pos = best_pos
                     stop_reason = "diverged"
+                    if recorder is not None:
+                        recorder.event(
+                            "recovery",
+                            iteration=iteration,
+                            action="diverged_stop",
+                        )
                     break
 
                 current_hpwl = hpwl(design, pos[:n], pos[n:])
@@ -530,6 +598,15 @@ class GlobalPlacer:
                     }
                     entry.update(extra_metrics)
                     trace.append(entry)
+                    if recorder is not None:
+                        recorder.iteration(
+                            iteration,
+                            {
+                                k: v
+                                for k, v in entry.items()
+                                if k != "iteration"
+                            },
+                        )
                     if opts.verbose and iteration % 50 == 0:
                         print(
                             f"iter {iteration:4d} hpwl {entry['hpwl']:.3e} "
@@ -548,6 +625,19 @@ class GlobalPlacer:
         x_final = pos[:n].copy()
         y_final = pos[n:].copy()
         runtime = time.perf_counter() - start_time
+        if recorder is not None:
+            recorder.event(
+                "run_end",
+                iteration=last_iteration,
+                stop_reason=stop_reason,
+                iterations=last_iteration + 1,
+                hpwl=hpwl(design, x_final, y_final),
+                overflow=overflow,
+                runtime=runtime,
+                recoveries=retries + rollbacks,
+                quarantined_iterations=quarantined_iters,
+                nonfinite_events=guard.summary() if guard is not None else {},
+            )
         return PlacerResult(
             x=x_final,
             y=y_final,

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..perf import PROFILER
+from ..telemetry.events import current_recorder
 
 __all__ = [
     "CHECKPOINT_DIR",
@@ -134,6 +135,15 @@ class CheckpointManager:
         path = save_checkpoint(checkpoint, self.path_for(iteration))
         self.saved.append((iteration, float(checkpoint.overflow), path))
         self._prune()
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.event(
+                "checkpoint",
+                iteration=iteration,
+                action="save",
+                path=path,
+                overflow=float(checkpoint.overflow),
+            )
         return path
 
     def _prune(self) -> None:

@@ -27,6 +27,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..perf import PROFILER
+from ..telemetry.events import current_recorder
 
 __all__ = ["NumericalGuard", "LOGGER"]
 
@@ -69,6 +70,11 @@ class NumericalGuard:
             for a in arrays:
                 a[...] = 0.0
         self._record(term)
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.event(
+                "quarantine", iteration=iteration, term=term, bad_entries=bad
+            )
         if self.log:
             LOGGER.warning(
                 "iteration %d: %d non-finite entries in %s gradient; "
@@ -81,6 +87,14 @@ class NumericalGuard:
         """Count an exception raised while evaluating ``term`` (quarantined)."""
         self.exception_counts[term] = self.exception_counts.get(term, 0) + 1
         self._record(term)
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.event(
+                "term_exception",
+                iteration=iteration,
+                term=term,
+                error=f"{type(exc).__name__}: {exc}",
+            )
         if self.log:
             LOGGER.warning(
                 "iteration %d: %s evaluation raised %s: %s; "

@@ -35,6 +35,7 @@ from ..netlist.design import Design
 from ..netlist.library import FALL, RISE
 from ..perf import PROFILER
 from ..route.rsmt import build_rsmt
+from ..telemetry.events import current_recorder
 from ..route.tree import Forest, RoutingTree
 from .analysis import StaticTimingAnalyzer
 from .elmore import elmore_forward, node_caps
@@ -323,7 +324,25 @@ class IncrementalTimer:
         with PROFILER.stage("incremental.endpoints"):
             self._refresh_endpoint_slacks(touched_endpoints)
         self._refresh_totals()
+        recorder = current_recorder()
+        # Throttled: one event per 32 moves keeps high-churn ECO loops
+        # from dominating the stream.
+        if recorder is not None and (self.n_incremental_updates & 31) == 1:
+            recorder.event(
+                "incremental",
+                updates=self.n_incremental_updates,
+                pins_recomputed=self.n_pins_recomputed,
+                wns=self.wns,
+                tns=self.tns,
+            )
         return self.wns, self.tns
+
+    def counters(self) -> Dict[str, int]:
+        """Cumulative work counters for telemetry/reporting."""
+        return {
+            "incremental_updates": self.n_incremental_updates,
+            "pins_recomputed": self.n_pins_recomputed,
+        }
 
     # ------------------------------------------------------------------
     # Batched level-ordered sweep

@@ -1,0 +1,56 @@
+"""Unified telemetry: spans, metric streams, run manifests, toolchain.
+
+The observability layer of the placement stack:
+
+- :mod:`repro.perf` (sibling module) - hierarchical span profiling the
+  library's ``PROFILER.stage(...)`` call sites feed;
+- :mod:`repro.telemetry.events` - typed per-iteration metric events
+  streamed to JSONL (:class:`MetricsRecorder`, armed per run via
+  :func:`recording`/:func:`current_recorder`);
+- :mod:`repro.telemetry.manifest` - run manifests (design, mode,
+  options, seed, git rev, interpreter versions, outcome, span tree);
+- :mod:`repro.telemetry.session` - run-directory lifecycle
+  (:func:`start_run` -> :class:`RunSession`);
+- :mod:`repro.telemetry.report` / :mod:`repro.telemetry.compare` - the
+  ``python -m repro.harness report|compare`` toolchain (imported by the
+  harness CLI; not re-exported here to keep import edges acyclic).
+"""
+
+from .events import (
+    EVENT_KINDS,
+    EVENTS_FILENAME,
+    SCHEMA_VERSION,
+    MetricsRecorder,
+    current_recorder,
+    iteration_series,
+    read_events,
+    recording,
+)
+from .manifest import (
+    MANIFEST_FILENAME,
+    RunManifest,
+    git_revision,
+    load_manifest,
+    make_run_id,
+    write_manifest,
+)
+from .session import RunSession, start_run
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENTS_FILENAME",
+    "SCHEMA_VERSION",
+    "MetricsRecorder",
+    "current_recorder",
+    "iteration_series",
+    "read_events",
+    "recording",
+    "MANIFEST_FILENAME",
+    "RunManifest",
+    "git_revision",
+    "load_manifest",
+    "make_run_id",
+    "write_manifest",
+    "RunSession",
+    "start_run",
+]

@@ -1,0 +1,133 @@
+"""One telemetry run: a directory with a manifest and an event stream.
+
+:func:`start_run` creates (or, for resumes, re-opens) a run directory
+
+::
+
+    <base>/<run_id>/
+        manifest.json     # identity + (after finalize) outcome
+        events.jsonl      # typed metric stream (repro.telemetry.events)
+
+and hands back a :class:`RunSession` whose recorder is armed around the
+placement with :func:`repro.telemetry.events.recording`.  The session
+also turns the shared profiler on for its duration so the finalized
+manifest carries the hierarchical span tree of the run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+from ..perf import PROFILER
+from .events import EVENTS_FILENAME, MetricsRecorder
+from .manifest import (
+    MANIFEST_FILENAME,
+    RunManifest,
+    load_manifest,
+    make_run_id,
+    write_manifest,
+)
+
+__all__ = ["RunSession", "start_run"]
+
+
+class RunSession:
+    """Owns one run directory's manifest + recorder lifecycle."""
+
+    def __init__(
+        self,
+        run_dir: str,
+        manifest: RunManifest,
+        recorder: MetricsRecorder,
+        profile: bool = True,
+    ) -> None:
+        self.run_dir = run_dir
+        self.manifest = manifest
+        self.recorder = recorder
+        self._t0 = time.perf_counter()
+        self._profile = profile
+        self._profiler_was_enabled = PROFILER.enabled
+        if profile:
+            PROFILER.reset()
+            PROFILER.enable()
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest.run_id
+
+    def finalize(
+        self,
+        final_metrics: Optional[Dict[str, Any]] = None,
+        span_tree: Optional[Dict[str, Any]] = None,
+    ) -> RunManifest:
+        """Record the outcome, write the manifest, release the stream.
+
+        ``span_tree`` defaults to the shared profiler's current tree
+        (captured before the profiler's enabled state is restored).
+        """
+        self.manifest.wall_clock_s = time.perf_counter() - self._t0
+        if final_metrics:
+            self.manifest.final_metrics = dict(final_metrics)
+        if span_tree is None and self._profile:
+            span_tree = PROFILER.tree()
+        if span_tree is not None:
+            self.manifest.span_tree = span_tree
+        if self._profile:
+            PROFILER.enabled = self._profiler_was_enabled
+        write_manifest(self.manifest, self.run_dir)
+        self.recorder.close()
+        return self.manifest
+
+
+def start_run(
+    base_dir: str,
+    design: str,
+    mode: str,
+    seed: int,
+    options: Optional[Dict[str, Any]] = None,
+    run_id: Optional[str] = None,
+    resume: bool = False,
+    profile: bool = True,
+) -> RunSession:
+    """Open a telemetry run under ``base_dir``.
+
+    ``base_dir`` may also point directly at an *existing* run directory
+    (one containing ``manifest.json``); with ``resume=True`` that run is
+    continued - its manifest is kept and new events append to its stream
+    (the placer truncates any post-restart duplicates first).
+    """
+    if resume and os.path.exists(os.path.join(base_dir, MANIFEST_FILENAME)):
+        run_dir = base_dir
+        manifest = load_manifest(run_dir)
+        recorder = MetricsRecorder(
+            os.path.join(run_dir, manifest.events_file), append=True
+        )
+        return RunSession(run_dir, manifest, recorder, profile=profile)
+
+    rid = run_id if run_id else make_run_id(design, mode)
+    run_dir = os.path.join(base_dir, rid)
+    if run_id is None:
+        # Auto ids are already unique, but never trample an existing run.
+        k = 1
+        while os.path.exists(run_dir):
+            run_dir = os.path.join(base_dir, f"{rid}-{k}")
+            k += 1
+        rid = os.path.basename(run_dir)
+    os.makedirs(run_dir, exist_ok=True)
+
+    existing = resume and os.path.exists(
+        os.path.join(run_dir, MANIFEST_FILENAME)
+    )
+    if existing:
+        manifest = load_manifest(run_dir)
+    else:
+        manifest = RunManifest.create(
+            design=design, mode=mode, seed=seed, options=options, run_id=rid
+        )
+        write_manifest(manifest, run_dir)
+    recorder = MetricsRecorder(
+        os.path.join(run_dir, manifest.events_file), append=existing or resume
+    )
+    return RunSession(run_dir, manifest, recorder, profile=profile)
