@@ -1,0 +1,89 @@
+"""Suite-runner benchmark: serial vs process-parallel wall clock.
+
+Runs a small designs x modes matrix through
+:func:`repro.harness.parallel.run_parallel` with ``jobs=1`` and
+``jobs=N``, checks the final metrics are identical, and writes
+``benchmarks/results/BENCH_placer.json`` with both wall clocks and the
+per-run breakdown.  The parallel speedup depends on core count, so only
+metric equality is gated (non-zero exit on mismatch), not the timing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_placer.py
+        [--designs miniblue4 miniblue18] [--jobs 2] [--max-iters 150]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.harness.parallel import SuiteTask, run_parallel, suite_metrics
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--designs", nargs="*", default=["miniblue4", "miniblue18"]
+    )
+    parser.add_argument("--modes", nargs="*", default=["ours"])
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--max-iters", type=int, default=150)
+    args = parser.parse_args(argv)
+
+    tasks = [
+        SuiteTask(design=design, mode=mode, max_iters=args.max_iters)
+        for design in args.designs
+        for mode in args.modes
+    ]
+
+    t0 = time.perf_counter()
+    serial = run_parallel(tasks, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_parallel(tasks, jobs=args.jobs)
+    parallel_s = time.perf_counter() - t0
+
+    m_serial = suite_metrics(tasks, serial)
+    m_parallel = suite_metrics(tasks, parallel)
+    identical = m_serial == m_parallel
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+
+    payload = {
+        "designs": args.designs,
+        "modes": args.modes,
+        "max_iters": args.max_iters,
+        "jobs": args.jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+        "metrics_identical": identical,
+        "metrics": m_serial,
+        "runs": [
+            {"design": r.design, "mode": r.mode, "runtime": r.runtime}
+            for r in serial
+        ],
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_placer.json")
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"serial {serial_s:.2f}s vs jobs={args.jobs} {parallel_s:.2f}s "
+        f"-> {speedup:.2f}x (metrics identical={identical}) -> {out}"
+    )
+    if not identical:
+        print("FAIL: parallel metrics differ from serial metrics")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

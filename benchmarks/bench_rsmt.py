@@ -1,0 +1,139 @@
+"""RSMT kernel benchmark: scalar vs degree-bucketed batched build_forest.
+
+Times both paths of :func:`repro.route.rsmt.build_forest` on miniblue7
+(the largest suite design), verifies the batched forest is identical to
+the scalar one, and writes ``benchmarks/results/BENCH_rsmt.json`` with
+the timings, the degree histogram and a per-kernel profiler breakdown.
+
+Exit status is non-zero when the batched path is not faster than the
+scalar path - the CI perf-smoke job runs this script as a regression
+gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rsmt.py [--design miniblue7]
+        [--repeats 3] [--min-speedup 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.harness.suite import load_design
+from repro.perf import PROFILER
+from repro.route.rsmt import build_forest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _forests_equal(a, b) -> bool:
+    for attr in (
+        "parent",
+        "node_net",
+        "node_pin",
+        "owner_x_pin",
+        "owner_y_pin",
+        "depth",
+        "node_offset",
+        "pin_node",
+        "is_root",
+    ):
+        if not np.array_equal(getattr(a, attr), getattr(b, attr)):
+            return False
+    return True
+
+
+def _time_path(design, x, y, batched: bool, repeats: int):
+    best = float("inf")
+    forest = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        forest = build_forest(design, x, y, batched=batched)
+        best = min(best, time.perf_counter() - t0)
+    return best, forest
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="miniblue7")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail when batched/scalar speedup is below this",
+    )
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    design = load_design(args.design)
+    rng = np.random.default_rng(args.seed)
+    x = rng.uniform(0.0, 400.0, design.n_cells)
+    y = rng.uniform(0.0, 400.0, design.n_cells)
+
+    # Warm-up (allocator, caches) before timing.
+    build_forest(design, x, y, batched=True)
+
+    scalar_s, scalar_forest = _time_path(
+        design, x, y, batched=False, repeats=args.repeats
+    )
+    batched_s, batched_forest = _time_path(
+        design, x, y, batched=True, repeats=args.repeats
+    )
+    identical = _forests_equal(scalar_forest, batched_forest)
+    speedup = scalar_s / batched_s if batched_s > 0 else float("inf")
+
+    # Per-kernel profiler breakdown of one batched build.
+    PROFILER.reset()
+    PROFILER.enable()
+    build_forest(design, x, y, batched=True)
+    spans = PROFILER.stats()
+    PROFILER.disable()
+
+    degrees = design.net_degrees
+    hist = {
+        str(d): int(c)
+        for d, c in zip(*np.unique(degrees[degrees >= 2], return_counts=True))
+    }
+    payload = {
+        "design": args.design,
+        "n_nets": int(design.n_nets),
+        "n_trees": int(sum(t is not None for t in batched_forest.trees)),
+        "degree_histogram": hist,
+        "repeats": args.repeats,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": speedup,
+        "forests_identical": identical,
+        "profiler": spans,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_rsmt.json")
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"{args.design}: scalar {scalar_s * 1e3:.1f} ms, "
+        f"batched {batched_s * 1e3:.1f} ms -> {speedup:.2f}x "
+        f"(identical={identical}) -> {out}"
+    )
+    if not identical:
+        print("FAIL: batched forest differs from scalar forest")
+        return 1
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

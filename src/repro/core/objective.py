@@ -16,7 +16,12 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..netlist.design import Design
-from ..route.rsmt import build_forest
+from ..route.rsmt import (
+    _routable_nets,
+    build_forest,
+    build_forest_from_pins,
+    build_trees_for_nets,
+)
 from ..route.tree import Forest
 from ..sta.graph import TimingGraph
 from ..telemetry.events import current_recorder
@@ -57,6 +62,16 @@ class TimingObjectiveOptions:
     # with cached scales in between - ~15% faster per iteration at a
     # small quality cost (see the objective ablation benchmark).
     norm_refresh_period: int = 0
+    # Dirty-net incremental rebuilds between full RSMT rebuilds: a net is
+    # rebuilt early when any of its pins moved more than this rectilinear
+    # distance since the net's tree was last built (the Figure-4 owner-pin
+    # reuse rule degrades as pins drift).  ``None`` (default) disables the
+    # incremental path; the forest then only changes on ``rsmt_period``.
+    rsmt_dirty_threshold: Optional[float] = None
+    # When more than this fraction of routable nets is dirty, a full
+    # rebuild is cheaper than splicing (the batched kernels amortise best
+    # over large buckets); the rebuild also resets the period counter.
+    rsmt_dirty_full_frac: float = 0.5
 
 
 class TimingObjective:
@@ -77,6 +92,13 @@ class TimingObjective:
         #: (x, y) the current forest was built from; checkpointed so a
         #: resumed run can rebuild the identical forest deterministically.
         self._forest_coords: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: Per-pin coordinates each net's tree was last built at.  With
+        #: dirty-net splicing the forest mixes trees of different ages, so
+        #: the checkpointable "coordinates the forest was built from" are
+        #: per *pin*, not one (x, y) snapshot (each tree is a pure
+        #: function of its own pins' build-time coordinates).
+        self._built_px: Optional[np.ndarray] = None
+        self._built_py: Optional[np.ndarray] = None
         self._iters_since_rsmt = 0
         self._frozen_k: Optional[int] = None
         self._norm_cache: Optional[Tuple[float, float]] = None
@@ -85,7 +107,13 @@ class TimingObjective:
         self.n_rsmt_reuses = 0
         self.n_timer_calls = 0
         self.n_backward_calls = 0
+        #: Cumulative dirty-net policy counters (telemetry mirrors these).
+        self.n_dirty_nets = 0
+        self.n_rebuilt_nets = 0
         self._last_forest_reused = False
+        # Routable-net ids and a CSR gather for the vectorised per-net
+        # displacement reduction of the dirty test.
+        self._routable_ids: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def forest_for(
@@ -95,27 +123,105 @@ class TimingObjective:
 
         Between rebuilds, Steiner points track their owner pins (the
         paper's Figure 4 reuse rule), so the forest stays valid while
-        cells move.
+        cells move.  With ``rsmt_dirty_threshold`` set, nets whose pins
+        drifted beyond the threshold since their tree was built are
+        re-routed early and spliced into the cached forest in place.
         """
         if (
             self._forest is None
             or self._iters_since_rsmt >= self.options.rsmt_period
         ):
-            self._forest = build_forest(self.design, cell_x, cell_y)
-            self._forest_coords = (cell_x.copy(), cell_y.copy())
-            self._iters_since_rsmt = 0
-            self.n_rsmt_calls += 1
-            self._last_forest_reused = False
-            recorder = current_recorder()
-            if recorder is not None:
-                recorder.counter(
-                    "rsmt_rebuilds", self.n_rsmt_calls, iteration=iteration
-                )
+            self._full_rebuild(cell_x, cell_y, iteration)
+        elif self.options.rsmt_dirty_threshold is not None:
+            self._dirty_rebuild(cell_x, cell_y, iteration)
         else:
             self.n_rsmt_reuses += 1
             self._last_forest_reused = True
         self._iters_since_rsmt += 1
         return self._forest
+
+    def _routable_net_ids(self) -> np.ndarray:
+        if self._routable_ids is None:
+            self._routable_ids = np.array(
+                _routable_nets(
+                    self.design, range(self.design.n_nets), False
+                ),
+                dtype=np.int64,
+            )
+        return self._routable_ids
+
+    def _full_rebuild(
+        self, cell_x: np.ndarray, cell_y: np.ndarray, iteration: int
+    ) -> None:
+        px, py = self.design.pin_positions(cell_x, cell_y)
+        self._forest = build_forest_from_pins(self.design, px, py)
+        self._forest_coords = (cell_x.copy(), cell_y.copy())
+        self._built_px = px
+        self._built_py = py
+        self._iters_since_rsmt = 0
+        self.n_rsmt_calls += 1
+        self._last_forest_reused = False
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.counter(
+                "rsmt_rebuilds", self.n_rsmt_calls, iteration=iteration
+            )
+        if self.options.rsmt_dirty_threshold is not None:
+            self.n_rebuilt_nets += len(self._routable_net_ids())
+            if recorder is not None:
+                recorder.counter(
+                    "rsmt_rebuilt_nets",
+                    self.n_rebuilt_nets,
+                    iteration=iteration,
+                )
+
+    def _dirty_rebuild(
+        self, cell_x: np.ndarray, cell_y: np.ndarray, iteration: int
+    ) -> None:
+        """Re-route nets whose pins drifted past the dirty threshold."""
+        design = self.design
+        opts = self.options
+        px, py = design.pin_positions(cell_x, cell_y)
+        disp = np.abs(px - self._built_px) + np.abs(py - self._built_py)
+        # Max pin displacement per net over the CSR slices.  reduceat on
+        # an empty slice would read a neighbouring element; degree-0 nets
+        # are masked afterwards (and can only make the start index go out
+        # of range at the tail, hence the clip).
+        starts = design.net2pin_start[:-1]
+        gathered = disp[design.net2pin]
+        safe_starts = np.minimum(starts, max(len(gathered) - 1, 0))
+        net_disp = np.maximum.reduceat(gathered, safe_starts)
+        net_disp[design.net_degrees == 0] = 0.0
+        ids = self._routable_net_ids()
+        dirty = ids[net_disp[ids] > opts.rsmt_dirty_threshold]
+        if len(dirty) == 0:
+            self.n_rsmt_reuses += 1
+            self._last_forest_reused = True
+            return
+        self.n_dirty_nets += len(dirty)
+        if len(dirty) > opts.rsmt_dirty_full_frac * len(ids):
+            # Splicing would rebuild most of the forest anyway; a full
+            # rebuild batches better and restarts the period counter
+            # (forest_for's increment lands it at 1, as after a periodic
+            # rebuild).
+            self._full_rebuild(cell_x, cell_y, iteration)
+            self._iters_since_rsmt = 0
+        else:
+            trees = build_trees_for_nets(design, px, py, dirty.tolist())
+            self._forest = self._forest.splice(trees)
+            pins = np.concatenate([design.net_pins(ni) for ni in dirty])
+            self._built_px[pins] = px[pins]
+            self._built_py[pins] = py[pins]
+            self.n_rebuilt_nets += len(trees)
+            self._last_forest_reused = False
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.counter(
+                "rsmt_dirty_nets", self.n_dirty_nets, iteration=iteration
+            )
+            recorder.counter(
+                "rsmt_rebuilt_nets", self.n_rebuilt_nets, iteration=iteration
+            )
 
     def weights_at(self, iteration: int) -> Tuple[float, float]:
         """Ramped (t1, t2) for the given placer iteration.
@@ -147,8 +253,14 @@ class TimingObjective:
     # ------------------------------------------------------------------
     def get_state(self) -> Dict[str, object]:
         fc = self._forest_coords
+        bp = self._built_px
         return {
             "forest_coords": None if fc is None else (fc[0].copy(), fc[1].copy()),
+            # Authoritative with dirty-net splicing: the per-pin build-time
+            # coordinates reconstruct the mixed-age forest exactly.
+            "built_pin_coords": None
+            if bp is None
+            else (bp.copy(), self._built_py.copy()),
             "iters_since_rsmt": self._iters_since_rsmt,
             "frozen_k": self._frozen_k,
             "norm_cache": self._norm_cache,
@@ -157,20 +269,37 @@ class TimingObjective:
             "n_rsmt_reuses": self.n_rsmt_reuses,
             "n_timer_calls": self.n_timer_calls,
             "n_backward_calls": self.n_backward_calls,
+            "n_dirty_nets": self.n_dirty_nets,
+            "n_rebuilt_nets": self.n_rebuilt_nets,
         }
 
     def set_state(self, state: Dict[str, object]) -> None:
+        bp = state.get("built_pin_coords")
         fc = state.get("forest_coords")
-        if fc is None:
-            self._forest = None
-            self._forest_coords = None
-        else:
+        if bp is not None:
+            # Each tree is a pure function of its own pins' coordinates at
+            # build time, so routing from the per-pin snapshot reproduces
+            # the checkpointed forest (including mid-period splices).
+            px, py = bp
+            self._forest = build_forest_from_pins(self.design, px, py)
+            self._built_px = px.copy()
+            self._built_py = py.copy()
+            self._forest_coords = (
+                None if fc is None else (fc[0].copy(), fc[1].copy())
+            )
+        elif fc is not None:
             fx, fy = fc
-            # build_forest is deterministic in its inputs, so rebuilding
-            # from the stored coordinates reproduces the checkpointed
-            # forest without pickling tree topology.
+            # Legacy checkpoints: build_forest is deterministic in its
+            # inputs, so rebuilding from the stored cell coordinates
+            # reproduces the checkpointed forest without pickling topology.
             self._forest = build_forest(self.design, fx, fy)
             self._forest_coords = (fx.copy(), fy.copy())
+            self._built_px, self._built_py = self.design.pin_positions(fx, fy)
+        else:
+            self._forest = None
+            self._forest_coords = None
+            self._built_px = None
+            self._built_py = None
         self._iters_since_rsmt = int(state.get("iters_since_rsmt", 0))
         self._frozen_k = state.get("frozen_k")
         nc = state.get("norm_cache")
@@ -180,6 +309,8 @@ class TimingObjective:
         self.n_rsmt_reuses = int(state.get("n_rsmt_reuses", 0))
         self.n_timer_calls = int(state.get("n_timer_calls", 0))
         self.n_backward_calls = int(state.get("n_backward_calls", 0))
+        self.n_dirty_nets = int(state.get("n_dirty_nets", 0))
+        self.n_rebuilt_nets = int(state.get("n_rebuilt_nets", 0))
 
     # ------------------------------------------------------------------
     def __call__(

@@ -32,7 +32,7 @@ from .suite import format_table2, load_design
 from .table3 import format_table3, run_table3
 
 #: Subcommand names; anything else falls through to the legacy flag CLI.
-_SUBCOMMANDS = ("run", "report", "compare")
+_SUBCOMMANDS = ("run", "report", "compare", "suite")
 
 
 def _run_validate(designs) -> int:
@@ -69,6 +69,19 @@ def _run_resume(path: str, designs, mode: str, args) -> int:
     return 0
 
 
+def _timing_options(args):
+    """TimingObjectiveOptions from CLI flags, or None for the defaults."""
+    if args.rsmt_period is None and args.rsmt_dirty_threshold is None:
+        return None
+    from ..core.objective import TimingObjectiveOptions
+
+    opts = TimingObjectiveOptions()
+    if args.rsmt_period is not None:
+        opts.rsmt_period = args.rsmt_period
+    opts.rsmt_dirty_threshold = args.rsmt_dirty_threshold
+    return opts
+
+
 def _cmd_run(args) -> int:
     """``run``: one instrumented (design, mode) placement."""
     design = load_design(args.design)
@@ -81,6 +94,7 @@ def _cmd_run(args) -> int:
             checkpoint_every=args.checkpoint_every,
             resume_from=args.resume,
         ),
+        timing_options=_timing_options(args),
         profile=args.profile,
         telemetry_dir=args.telemetry,
         run_id=args.run_id,
@@ -90,6 +104,48 @@ def _cmd_run(args) -> int:
         print(f"guard events: {record.nonfinite_events}")
     if record.run_dir:
         print(f"telemetry: {record.run_dir}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    """``suite``: designs x modes x seeds matrix, optionally parallel."""
+    import json
+
+    from .parallel import SuiteTask, run_parallel, suite_metrics, write_suite_manifest
+
+    designs = args.designs
+    if not designs:
+        from .suite import SUITE
+
+        designs = [e.name for e in SUITE]
+    tasks = [
+        SuiteTask(
+            design=design,
+            mode=mode,
+            seed=seed,
+            max_iters=args.max_iters,
+            rsmt_period=args.rsmt_period,
+            rsmt_dirty_threshold=args.rsmt_dirty_threshold,
+            telemetry_dir=args.telemetry,
+        )
+        for design in designs
+        for mode in args.modes
+        for seed in args.seeds
+    ]
+    records = run_parallel(tasks, jobs=args.jobs, verbose=True)
+    if args.telemetry:
+        path = write_suite_manifest(args.telemetry, tasks, records, args.jobs)
+        print(f"suite manifest: {path}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(
+                suite_metrics(tasks, records),
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"metrics: {args.metrics_out}")
     return 0
 
 
@@ -150,7 +206,61 @@ def _subcommand_parser() -> argparse.ArgumentParser:
         help="checkpoint file to restart from (with --telemetry pointing "
         "at the original run directory, its event stream is continued)",
     )
+    run_p.add_argument(
+        "--rsmt-period",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rebuild the full Steiner forest every N iterations "
+        "(default: the timing objective's built-in period)",
+    )
+    run_p.add_argument(
+        "--rsmt-dirty-threshold",
+        type=float,
+        default=None,
+        metavar="DIST",
+        help="between full rebuilds, re-route nets whose pins moved more "
+        "than DIST um since their tree was built (default: off)",
+    )
     run_p.set_defaults(func=_cmd_run)
+
+    suite_p = sub.add_parser(
+        "suite", help="designs x modes x seeds matrix, optionally parallel"
+    )
+    suite_p.add_argument(
+        "--designs", nargs="*", default=None, help="suite design names "
+        "(default: all 8)"
+    )
+    suite_p.add_argument(
+        "--modes", nargs="*", choices=MODES, default=["ours"],
+    )
+    suite_p.add_argument("--seeds", nargs="*", type=int, default=[0])
+    suite_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (results are identical to --jobs 1)",
+    )
+    suite_p.add_argument("--max-iters", type=int, default=600)
+    suite_p.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="per-run telemetry under DIR plus a merged suite_manifest.json",
+    )
+    suite_p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write deterministic final metrics JSON (no wall-clock "
+        "fields; byte-identical across --jobs settings)",
+    )
+    suite_p.add_argument("--rsmt-period", type=int, default=None, metavar="N")
+    suite_p.add_argument(
+        "--rsmt-dirty-threshold", type=float, default=None, metavar="DIST"
+    )
+    suite_p.set_defaults(func=_cmd_suite)
 
     rep_p = sub.add_parser("report", help="render one run's telemetry")
     rep_p.add_argument("run_dir", help="telemetry run directory")
@@ -238,6 +348,14 @@ def main(argv=None) -> int:
         default="ours",
         help="placer mode for --resume (default: ours)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the Table 3 matrix across N worker processes "
+        "(final metrics are identical to a serial run)",
+    )
     args = parser.parse_args(argv)
 
     designs = args.designs
@@ -264,6 +382,7 @@ def main(argv=None) -> int:
         max_iters=args.max_iters,
         profile=args.profile,
         checkpoint_every=args.checkpoint_every,
+        jobs=args.jobs,
     )
     print()
     print(format_table3(result))

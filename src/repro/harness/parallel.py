@@ -1,0 +1,249 @@
+"""Process-parallel execution of independent placement runs.
+
+The Table-3 matrix and the suite runner fan (design, mode, seed) tasks
+out to a :class:`concurrent.futures.ProcessPoolExecutor`.  Each task is
+self-contained - the worker loads the design by name, seeds its own run
+and streams its own telemetry - so runs never share mutable state and
+the fan-out is deterministic:
+
+- every run's randomness comes from its task's explicit seed (the placer
+  seeds a fresh ``Generator`` per run; no global RNG is shared);
+- results are collected in task order regardless of completion order;
+- per-run telemetry goes to separate run directories whose ids are
+  derived from the task (not from timestamps), and the parent merges the
+  manifests and profiler span trees afterwards.
+
+Consequently ``--jobs N`` changes wall-clock only: the per-design final
+metrics are bit-identical to a serial run (the CI determinism job diffs
+the two metric files byte for byte).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import multiprocessing
+
+from ..core.objective import TimingObjectiveOptions
+from ..perf import PROFILER, merge_span_trees
+from ..place.placer import PlacerOptions
+from ..telemetry.manifest import load_manifest
+from .runners import RunRecord, run_mode
+from .suite import load_design
+
+__all__ = [
+    "SuiteTask",
+    "run_parallel",
+    "run_suite",
+    "suite_metrics",
+    "write_suite_manifest",
+]
+
+#: Filename of the merged suite summary inside a telemetry directory.
+SUITE_MANIFEST_FILENAME = "suite_manifest.json"
+
+
+@dataclass
+class SuiteTask:
+    """One self-contained (design, mode, seed) placement run."""
+
+    design: str
+    mode: str
+    seed: int = 0
+    max_iters: int = 600
+    checkpoint_every: int = 0
+    rsmt_period: Optional[int] = None
+    rsmt_dirty_threshold: Optional[float] = None
+    telemetry_dir: Optional[str] = None
+    profile: bool = False
+    with_trace_sta: bool = False
+    extra_placer_options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def run_id(self) -> str:
+        """Deterministic telemetry run id (no timestamp/pid component)."""
+        return f"{self.design}_{self.mode}_s{self.seed}"
+
+    def timing_options(self) -> Optional[TimingObjectiveOptions]:
+        if self.rsmt_period is None and self.rsmt_dirty_threshold is None:
+            return None
+        opts = TimingObjectiveOptions()
+        if self.rsmt_period is not None:
+            opts.rsmt_period = self.rsmt_period
+        opts.rsmt_dirty_threshold = self.rsmt_dirty_threshold
+        return opts
+
+
+def _execute_task(task: SuiteTask) -> RunRecord:
+    """Worker body: run one task and attach its profiler span tree."""
+    design = load_design(task.design)
+    record = run_mode(
+        design,
+        task.mode,
+        placer_options=PlacerOptions(
+            max_iters=task.max_iters,
+            seed=task.seed,
+            checkpoint_every=task.checkpoint_every,
+            **task.extra_placer_options,
+        ),
+        timing_options=task.timing_options(),
+        with_trace_sta=task.with_trace_sta,
+        profile=task.profile,
+        telemetry_dir=task.telemetry_dir,
+        run_id=task.run_id if task.telemetry_dir else None,
+    )
+    if task.profile or task.telemetry_dir:
+        record.span_tree = PROFILER.tree()
+    return record
+
+
+def run_parallel(
+    tasks: Sequence[SuiteTask],
+    jobs: int = 1,
+    verbose: bool = False,
+) -> List[RunRecord]:
+    """Run tasks across ``jobs`` worker processes; results in task order.
+
+    ``jobs <= 1`` runs everything in-process (no executor), which is the
+    reference ordering the parallel path must reproduce.  Workers prefer
+    the ``fork`` start method (cheap, inherits the loaded package) and
+    fall back to the platform default where ``fork`` is unavailable.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        records = []
+        for task in tasks:
+            record = _execute_task(task)
+            records.append(record)
+            if verbose:
+                print(record.summary())
+        return records
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        ctx = multiprocessing.get_context()
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)), mp_context=ctx
+    ) as pool:
+        futures = [pool.submit(_execute_task, task) for task in tasks]
+        records = []
+        # Ordered collection: wait for tasks in submission order so the
+        # output (and any verbose printing) is independent of scheduling.
+        for future in futures:
+            record = future.result()
+            records.append(record)
+            if verbose:
+                print(record.summary())
+    return records
+
+
+def _final_metrics(rec: RunRecord) -> Dict[str, Any]:
+    """Deterministic final metrics of one run (no wall-clock fields)."""
+    return {
+        "wns": rec.wns,
+        "tns": rec.tns,
+        "hpwl": rec.hpwl,
+        "iterations": rec.iterations,
+        "stop_reason": rec.stop_reason,
+    }
+
+
+def suite_metrics(
+    tasks: Sequence[SuiteTask], records: Sequence[RunRecord]
+) -> Dict[str, Any]:
+    """Final metrics keyed ``design -> mode -> s<seed>``.
+
+    Runtime (and other wall-clock quantities) are deliberately excluded:
+    this dict must be byte-identical between ``--jobs 1`` and
+    ``--jobs N`` runs of the same matrix.
+    """
+    out: Dict[str, Any] = {}
+    for task, rec in zip(tasks, records):
+        out.setdefault(rec.design, {}).setdefault(rec.mode, {})[
+            f"s{task.seed}"
+        ] = _final_metrics(rec)
+    return out
+
+
+def write_suite_manifest(
+    directory: str,
+    tasks: Sequence[SuiteTask],
+    records: Sequence[RunRecord],
+    jobs: int,
+) -> str:
+    """Merge per-run telemetry into one ``suite_manifest.json``.
+
+    Collects each run's manifest (when the run streamed telemetry) and
+    merges the per-run profiler span trees into a single aggregate tree,
+    so a parallel suite still yields one hierarchical profile.
+    """
+    runs = []
+    for task, rec in zip(tasks, records):
+        entry: Dict[str, Any] = {
+            "design": rec.design,
+            "mode": rec.mode,
+            "seed": task.seed,
+            "run_id": task.run_id,
+            "final_metrics": _final_metrics(rec),
+            "runtime": rec.runtime,
+        }
+        if rec.run_dir:
+            entry["run_dir"] = rec.run_dir
+            try:
+                entry["manifest"] = load_manifest(rec.run_dir).to_dict()
+            except (OSError, ValueError):
+                entry["manifest"] = None
+        runs.append(entry)
+    trees = [rec.span_tree for rec in records if rec.span_tree]
+    payload = {
+        "jobs": jobs,
+        "n_runs": len(runs),
+        "runs": runs,
+        "merged_span_tree": merge_span_trees(trees) if trees else None,
+        "metrics": suite_metrics(tasks, records),
+    }
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, SUITE_MANIFEST_FILENAME)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def run_suite(
+    designs: Sequence[str],
+    modes: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    jobs: int = 1,
+    max_iters: int = 600,
+    telemetry_dir: Optional[str] = None,
+    rsmt_period: Optional[int] = None,
+    rsmt_dirty_threshold: Optional[float] = None,
+    verbose: bool = False,
+) -> List[RunRecord]:
+    """Fan the designs x modes x seeds matrix out to ``jobs`` workers."""
+    tasks = [
+        SuiteTask(
+            design=design,
+            mode=mode,
+            seed=seed,
+            max_iters=max_iters,
+            rsmt_period=rsmt_period,
+            rsmt_dirty_threshold=rsmt_dirty_threshold,
+            telemetry_dir=telemetry_dir,
+        )
+        for design in designs
+        for mode in modes
+        for seed in seeds
+    ]
+    records = run_parallel(tasks, jobs=jobs, verbose=verbose)
+    if telemetry_dir is not None:
+        write_suite_manifest(telemetry_dir, tasks, records, jobs)
+    return records

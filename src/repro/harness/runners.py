@@ -58,6 +58,9 @@ class RunRecord:
     recoveries: int = 0
     #: Telemetry run directory (``telemetry_dir`` runs only).
     run_dir: Optional[str] = None
+    #: Hierarchical profiler span tree (parallel/profiled runs; merged
+    #: across workers by the suite runner).
+    span_tree: Optional[Dict[str, object]] = None
 
     def summary(self) -> str:
         return (

@@ -46,6 +46,7 @@ def run_table3(
     profile: bool = False,
     validate: bool = False,
     checkpoint_every: int = 0,
+    jobs: int = 1,
 ) -> Table3Result:
     """Run the full (designs x modes) comparison matrix.
 
@@ -53,10 +54,30 @@ def run_table3(
     mode) run into ``benchmarks/results/`` (see :func:`run_mode`).
     ``validate`` runs structural design validation before each placement;
     ``checkpoint_every`` saves resumable placer checkpoints on that period
-    (see :mod:`repro.runtime`).
+    (see :mod:`repro.runtime`).  ``jobs > 1`` fans the matrix out to that
+    many worker processes (see :mod:`repro.harness.parallel`); results
+    and final metrics are identical to the serial run.
     """
     names = list(designs) if designs is not None else [e.name for e in SUITE]
     result = Table3Result()
+    if jobs > 1 and all(isinstance(n, str) for n in names):
+        from .parallel import SuiteTask, run_parallel
+
+        tasks = [
+            SuiteTask(
+                design=name,
+                mode=mode,
+                max_iters=max_iters,
+                checkpoint_every=checkpoint_every,
+                profile=profile,
+                extra_placer_options={"validate": validate},
+            )
+            for name in names
+            for mode in modes
+        ]
+        for record in run_parallel(tasks, jobs=jobs, verbose=verbose):
+            result.add(record)
+        return result
     for name in names:
         design = load_design(name) if isinstance(name, str) else name
         for mode in modes:

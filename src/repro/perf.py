@@ -44,6 +44,7 @@ __all__ = [
     "get_profiler",
     "profile_enabled_by_env",
     "format_span_tree",
+    "merge_span_trees",
 ]
 
 
@@ -311,6 +312,60 @@ def format_span_tree(tree: Dict[str, object], title: str = "span tree") -> str:
     if not children:
         lines.append("(no spans recorded)")
     return "\n".join(lines)
+
+
+def merge_span_trees(
+    trees: List[Dict[str, object]], name: str = "run"
+) -> Dict[str, object]:
+    """Merge several :meth:`Timer.tree`-shaped dicts into one aggregate.
+
+    Used by the process-parallel suite runner: each worker returns its
+    own span tree, and the parent folds them into a single hierarchical
+    profile.  Nodes are matched by name per tree level; ``calls``,
+    ``total_s`` and counters are summed, ``self_s`` is re-derived, and
+    children are re-sorted by descending total time.
+    """
+
+    def merge_children(
+        groups: List[List[Dict[str, object]]]
+    ) -> List[Dict[str, object]]:
+        by_name: Dict[str, List[Dict[str, object]]] = {}
+        for children in groups:
+            for child in children:
+                by_name.setdefault(str(child["name"]), []).append(child)
+        merged = []
+        for child_name, nodes in by_name.items():
+            total = sum(float(n.get("total_s", 0.0)) for n in nodes)
+            counters: Dict[str, int] = {}
+            for n in nodes:
+                for key, value in dict(n.get("counters", {})).items():
+                    counters[key] = counters.get(key, 0) + int(value)
+            children = merge_children(
+                [list(n.get("children", [])) for n in nodes]
+            )
+            merged.append(
+                {
+                    "name": child_name,
+                    "calls": sum(int(n.get("calls", 0)) for n in nodes),
+                    "total_s": total,
+                    "self_s": total
+                    - sum(float(c["total_s"]) for c in children),
+                    "counters": counters,
+                    "children": children,
+                }
+            )
+        merged.sort(key=lambda n: -float(n["total_s"]))
+        return merged
+
+    children = merge_children([list(t.get("children", [])) for t in trees])
+    return {
+        "name": name,
+        "calls": sum(int(t.get("calls", 0)) for t in trees),
+        "total_s": sum(float(c["total_s"]) for c in children),
+        "self_s": 0.0,
+        "counters": {},
+        "children": children,
+    }
 
 
 #: Shared default profiler; library hot paths time against this instance.

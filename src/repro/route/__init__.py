@@ -1,13 +1,24 @@
 """Rectilinear Steiner tree routing substrate (FLUTE substitute)."""
 
 from .tree import Forest, RoutingTree
-from .rsmt import build_forest, build_rsmt, build_trees, rmst_length
+from .batch import build_rsmt_batch
+from .rsmt import (
+    build_forest,
+    build_forest_from_pins,
+    build_rsmt,
+    build_trees,
+    build_trees_for_nets,
+    rmst_length,
+)
 
 __all__ = [
     "Forest",
     "RoutingTree",
     "build_forest",
+    "build_forest_from_pins",
     "build_rsmt",
+    "build_rsmt_batch",
     "build_trees",
+    "build_trees_for_nets",
     "rmst_length",
 ]

@@ -1,0 +1,410 @@
+"""Degree-bucketed batched RSMT kernels.
+
+The scalar :func:`repro.route.rsmt.build_rsmt` builds one tree at a time
+with a per-net Python Prim loop; on the miniblue suite that loop is the
+dominant cost of every Steiner-forest rebuild.  The kernels here bucket
+nets by degree and build whole buckets at once on rectangular
+``(n_nets_in_bucket, degree)`` coordinate arrays:
+
+- degree 2: a single HPWL segment per net (pure array construction);
+- degree 3: the closed-form median point, with the coincident-pin and
+  re-rooting cases resolved by vectorised masks;
+- degree 4..k (while ``degree**2 <= max_candidates``): a batched iterated
+  1-Steiner pass that evaluates every Hanan candidate of every active net
+  in one Prim sweep over ``(n_active * degree**2, nodes)`` arrays;
+- larger nets (plain rectilinear MST) run through the same batched Prim,
+  grouped by degree.
+
+Nets whose candidate set would be pruned (``degree**2 > max_candidates``)
+fall back to the scalar path so the deterministic pruning heuristic stays
+byte-identical; they are a negligible fraction of real netlists.
+
+Every kernel reproduces the scalar construction *exactly* (same floating
+point operations in the same order, same tie-breaking), so the batched
+and scalar paths emit bit-identical trees - the equivalence suite in
+``tests/test_rsmt_batch.py`` enforces this per degree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tree import RoutingTree
+
+__all__ = ["build_rsmt_batch", "batched_prim", "batched_one_steiner"]
+
+
+# ----------------------------------------------------------------------
+# Batched Prim kernels
+# ----------------------------------------------------------------------
+def batched_prim(
+    X: np.ndarray, Y: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rectilinear MST over every row of ``(B, n)`` coordinate arrays.
+
+    Returns ``(src, dst, total)`` where ``src``/``dst`` are ``(B, n-1)``
+    edge endpoint arrays in Prim insertion order and ``total`` is the
+    per-row MST length.  Bit-identical to running the scalar
+    :func:`repro.route.rsmt._prim_edges` on each row (same seed node,
+    same strict-improvement updates, same argmin tie-breaking).
+    """
+    B, n = X.shape
+    if n <= 1:
+        return (
+            np.zeros((B, 0), dtype=np.int64),
+            np.zeros((B, 0), dtype=np.int64),
+            np.zeros(B),
+        )
+    rows = np.arange(B)
+    in_tree = np.zeros((B, n), dtype=bool)
+    in_tree[:, 0] = True
+    best_dist = np.abs(X - X[:, :1]) + np.abs(Y - Y[:, :1])
+    best_src = np.zeros((B, n), dtype=np.int64)
+    best_dist[:, 0] = np.inf
+    src = np.zeros((B, n - 1), dtype=np.int64)
+    dst = np.zeros((B, n - 1), dtype=np.int64)
+    total = np.zeros(B)
+    for step in range(n - 1):
+        v = np.argmin(best_dist, axis=1)
+        total += best_dist[rows, v]
+        src[:, step] = best_src[rows, v]
+        dst[:, step] = v
+        in_tree[rows, v] = True
+        dv = np.abs(X - X[rows, v][:, None]) + np.abs(Y - Y[rows, v][:, None])
+        better = (dv < best_dist) & ~in_tree
+        best_dist = np.where(better, dv, best_dist)
+        best_src = np.where(better, v[:, None], best_src)
+        best_dist[rows, v] = np.inf
+    return src, dst, total
+
+
+def _batched_candidate_lengths(
+    base_x: np.ndarray,
+    base_y: np.ndarray,
+    cand_x: np.ndarray,
+    cand_y: np.ndarray,
+) -> np.ndarray:
+    """MST length of (row's base points + one candidate) per (row, cand).
+
+    ``base_x``/``base_y`` are ``(A, n)``; ``cand_x``/``cand_y`` are
+    ``(A, C)``.  Returns ``(A, C)`` lengths.  This is the 2-D analogue of
+    :func:`repro.route.rsmt._prim_lengths_batch` (which batches over
+    candidates of a single net); flattening (net, candidate) pairs into
+    rows keeps the state rectangular, and the per-row arithmetic is
+    bit-identical to the 1-D kernel.
+    """
+    A, n = base_x.shape
+    C = cand_x.shape[1]
+    if C == 0 or A == 0:
+        return np.zeros((A, C))
+    R = A * C
+    all_x = np.concatenate(
+        [
+            np.broadcast_to(base_x[:, None, :], (A, C, n)).reshape(R, n),
+            cand_x.reshape(R, 1),
+        ],
+        axis=1,
+    )
+    all_y = np.concatenate(
+        [
+            np.broadcast_to(base_y[:, None, :], (A, C, n)).reshape(R, n),
+            cand_y.reshape(R, 1),
+        ],
+        axis=1,
+    )
+    rows = np.arange(R)
+    in_tree = np.zeros((R, n + 1), dtype=bool)
+    in_tree[:, 0] = True
+    best_dist = np.abs(all_x - all_x[:, :1]) + np.abs(all_y - all_y[:, :1])
+    best_dist[:, 0] = np.inf
+    total = np.zeros(R)
+    for _ in range(n):
+        v = np.argmin(best_dist, axis=1)
+        total += best_dist[rows, v]
+        in_tree[rows, v] = True
+        vx = all_x[rows, v][:, None]
+        vy = all_y[rows, v][:, None]
+        dv = np.abs(all_x - vx) + np.abs(all_y - vy)
+        best_dist = np.minimum(best_dist, dv)
+        best_dist[in_tree] = np.inf
+    return total.reshape(A, C)
+
+
+# ----------------------------------------------------------------------
+# Batched iterated 1-Steiner
+# ----------------------------------------------------------------------
+def batched_one_steiner(
+    X: np.ndarray, Y: np.ndarray, tol: float = 1e-9
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Iterated 1-Steiner over a bucket of same-degree nets.
+
+    ``X``/``Y`` are ``(B, d)`` pin coordinates.  Returns padded node
+    arrays ``(XS, YS)`` of shape ``(B, d + d - 2)``, per-net inserted
+    counts ``n_ins`` and the ``(B, d-2)`` owner-index arrays for the
+    inserted Steiner points (in insertion order).
+
+    Candidates coincident with existing nodes are masked to ``+inf``
+    instead of dropped, which preserves the scalar path's first-minimum
+    tie-breaking (kept candidates keep their raveled Hanan-grid order).
+    Only valid while ``d * d`` does not exceed the scalar path's
+    ``max_candidates`` (no pruning), which the caller enforces.
+    """
+    B, d = X.shape
+    T = max(d - 2, 0)
+    XS = np.zeros((B, d + T))
+    YS = np.zeros((B, d + T))
+    XS[:, :d] = X
+    YS[:, :d] = Y
+    n_ins = np.zeros(B, dtype=np.int64)
+    own_i = np.zeros((B, T), dtype=np.int64)
+    own_j = np.zeros((B, T), dtype=np.int64)
+    if B == 0 or T == 0:
+        return XS, YS, n_ins, own_i, own_j
+
+    # Hanan candidates in the scalar path's raveled (i-major) order.
+    ci = np.repeat(np.arange(d), d)
+    cj = np.tile(np.arange(d), d)
+    _, _, cur_len = batched_prim(X, Y)
+    active = np.ones(B, dtype=bool)
+    for t in range(T):
+        idx = np.nonzero(active)[0]
+        if len(idx) == 0:
+            break
+        nodes_x = XS[idx, : d + t]
+        nodes_y = YS[idx, : d + t]
+        CX = X[idx][:, ci]  # (A, d*d)
+        CY = Y[idx][:, cj]
+        coincide = (
+            (CX[:, :, None] == nodes_x[:, None, :])
+            & (CY[:, :, None] == nodes_y[:, None, :])
+        ).any(axis=2)
+        lens = _batched_candidate_lengths(nodes_x, nodes_y, CX, CY)
+        lens[coincide] = np.inf
+        best = np.argmin(lens, axis=1)
+        arow = np.arange(len(idx))
+        best_len = lens[arow, best]
+        with np.errstate(invalid="ignore"):
+            improves = (cur_len[idx] - best_len) > tol
+        stopped = idx[~improves]
+        active[stopped] = False
+        ins = idx[improves]
+        if len(ins) == 0:
+            break
+        sel = best[improves]
+        XS[ins, d + t] = CX[arow[improves], sel]
+        YS[ins, d + t] = CY[arow[improves], sel]
+        own_i[ins, t] = ci[sel]
+        own_j[ins, t] = cj[sel]
+        n_ins[ins] += 1
+        cur_len[ins] = best_len[improves]
+    return XS, YS, n_ins, own_i, own_j
+
+
+# ----------------------------------------------------------------------
+# Closed-form buckets
+# ----------------------------------------------------------------------
+def _deg2_trees(
+    X: np.ndarray,
+    Y: np.ndarray,
+    pins: np.ndarray,
+    drivers: np.ndarray,
+) -> List[RoutingTree]:
+    """All degree-2 nets: one HPWL segment each, rooted at the driver."""
+    B = len(X)
+    parent = np.full((B, 2), -1, dtype=np.int64)
+    parent[np.arange(B), 1 - drivers] = drivers
+    owners = np.arange(2)
+    out = []
+    for k in range(B):
+        out.append(
+            RoutingTree(
+                x=X[k],
+                y=Y[k],
+                parent=parent[k],
+                pins=pins[k],
+                owner_x=owners.copy(),
+                owner_y=owners.copy(),
+                root=int(drivers[k]),
+            )
+        )
+    return out
+
+
+def _deg3_trees(
+    X: np.ndarray,
+    Y: np.ndarray,
+    pins: np.ndarray,
+    drivers: np.ndarray,
+) -> List[RoutingTree]:
+    """All degree-3 nets: exact RSMT via the median point, vectorised.
+
+    Reproduces :func:`repro.route.rsmt._median3_tree` (including its
+    re-rooting at the driver) case by case: when the median point
+    coincides with a pin the tree is a star around that pin, otherwise a
+    4th Steiner node is inserted whose coordinate owners are the pins of
+    median x and median y rank.
+    """
+    B = len(X)
+    order_x = np.argsort(X, axis=1)
+    order_y = np.argsort(Y, axis=1)
+    # np.median of 3 elements is the middle order statistic.
+    rows = np.arange(B)
+    mx = X[rows, order_x[:, 1]]
+    my = Y[rows, order_y[:, 1]]
+    owner_mx = order_x[:, 1]
+    owner_my = order_y[:, 1]
+    coincide = (X == mx[:, None]) & (Y == my[:, None])
+    has_hub = coincide.any(axis=1)
+    hub = np.argmax(coincide, axis=1)
+
+    base_owners = np.arange(3)
+    out = []
+    for k in range(B):
+        r = int(drivers[k])
+        if has_hub[k]:
+            h = int(hub[k])
+            parent = np.full(3, h, dtype=np.int64)
+            # Star rooted at the hub, re-rooted at the driver: flipping
+            # the (driver -> hub) pointer is the whole path reversal.
+            parent[h] = r if r != h else -1
+            parent[r] = -1
+            out.append(
+                RoutingTree(
+                    x=X[k].copy(),
+                    y=Y[k].copy(),
+                    parent=parent,
+                    pins=pins[k],
+                    owner_x=base_owners.copy(),
+                    owner_y=base_owners.copy(),
+                    root=r,
+                )
+            )
+        else:
+            parent = np.full(4, 3, dtype=np.int64)
+            parent[3] = r
+            parent[r] = -1
+            out.append(
+                RoutingTree(
+                    x=np.concatenate([X[k], mx[k : k + 1]]),
+                    y=np.concatenate([Y[k], my[k : k + 1]]),
+                    parent=parent,
+                    pins=np.concatenate([pins[k], [-1]]),
+                    owner_x=np.array([0, 1, 2, owner_mx[k]], dtype=np.int64),
+                    owner_y=np.array([0, 1, 2, owner_my[k]], dtype=np.int64),
+                    root=r,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Bucket dispatcher
+# ----------------------------------------------------------------------
+def build_rsmt_batch(
+    px: Sequence[np.ndarray],
+    py: Sequence[np.ndarray],
+    pin_ids: Sequence[np.ndarray],
+    driver_locals: Sequence[int],
+    max_steiner_degree: int = 24,
+    max_candidates: int = 64,
+) -> List[RoutingTree]:
+    """Build RSMTs for many nets at once, bucketed by degree.
+
+    The inputs are parallel per-net sequences (coordinates, global pin
+    ids, local driver index); the output list matches the input order.
+    Results are bit-identical to calling
+    :func:`repro.route.rsmt.build_rsmt` per net.
+    """
+    # Import here to avoid a circular module dependency (rsmt dispatches
+    # into this module for its batched path).
+    from .rsmt import _assemble_tree, build_rsmt
+
+    n_nets = len(px)
+    out: List[Optional[RoutingTree]] = [None] * n_nets
+    buckets: Dict[int, List[int]] = {}
+    for k in range(n_nets):
+        d = len(px[k])
+        if d <= 1 or (
+            max_candidates < d * d and d <= max_steiner_degree and d > 3
+        ):
+            # Degenerate nets and nets subject to the scalar path's
+            # deterministic candidate pruning: scalar fallback.
+            out[k] = build_rsmt(
+                px[k],
+                py[k],
+                pin_ids[k],
+                driver_local=int(driver_locals[k]),
+                max_steiner_degree=max_steiner_degree,
+                max_candidates=max_candidates,
+            )
+            continue
+        buckets.setdefault(d, []).append(k)
+
+    for d, members in buckets.items():
+        X = np.stack([np.asarray(px[k], dtype=np.float64) for k in members])
+        Y = np.stack([np.asarray(py[k], dtype=np.float64) for k in members])
+        # np.array (copying) so tree.pins never aliases design CSR slices.
+        P = [np.array(pin_ids[k], dtype=np.int64) for k in members]
+        drv = np.array([driver_locals[k] for k in members], dtype=np.int64)
+        if d == 2:
+            trees = _deg2_trees(X, Y, P, drv)
+        elif d == 3:
+            trees = _deg3_trees(X, Y, P, drv)
+        else:
+            if d <= max_steiner_degree:
+                XS, YS, n_ins, own_i, own_j = batched_one_steiner(X, Y)
+            else:
+                T = 0
+                XS, YS = X, Y
+                n_ins = np.zeros(len(members), dtype=np.int64)
+                own_i = own_j = np.zeros((len(members), T), dtype=np.int64)
+            trees = _finalize_bucket(
+                X, Y, P, drv, XS, YS, n_ins, own_i, own_j, _assemble_tree
+            )
+        for k, tree in zip(members, trees):
+            out[k] = tree
+    return out  # type: ignore[return-value]
+
+
+def _finalize_bucket(
+    X: np.ndarray,
+    Y: np.ndarray,
+    P: List[np.ndarray],
+    drv: np.ndarray,
+    XS: np.ndarray,
+    YS: np.ndarray,
+    n_ins: np.ndarray,
+    own_i: np.ndarray,
+    own_j: np.ndarray,
+    assemble,
+) -> List[RoutingTree]:
+    """Final MST + prune + root for a bucket with per-net Steiner counts.
+
+    Nets are regrouped by total node count so the final Prim pass stays
+    rectangular; pruning/rooting are per-net (cheap after batching the
+    length computations).
+    """
+    B, d = X.shape
+    trees: List[Optional[RoutingTree]] = [None] * B
+    for m in np.unique(n_ins):
+        sel = np.nonzero(n_ins == m)[0]
+        n_total = d + int(m)
+        src, dst, _ = batched_prim(XS[sel, :n_total], YS[sel, :n_total])
+        for row, k in enumerate(sel):
+            edges = list(zip(src[row].tolist(), dst[row].tolist()))
+            owners = [
+                (int(own_i[k, t]), int(own_j[k, t])) for t in range(int(m))
+            ]
+            trees[k] = assemble(
+                X[k],
+                Y[k],
+                P[k],
+                int(drv[k]),
+                XS[k, :n_total],
+                YS[k, :n_total],
+                owners,
+                edges,
+            )
+    return trees  # type: ignore[return-value]

@@ -17,7 +17,7 @@ differentiable with respect to pin locations (Figure 4 of the paper).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +25,14 @@ from ..netlist.design import Design
 from ..perf import PROFILER
 from .tree import Forest, RoutingTree
 
-__all__ = ["build_rsmt", "build_trees", "build_forest", "rmst_length"]
+__all__ = [
+    "build_rsmt",
+    "build_trees",
+    "build_trees_for_nets",
+    "build_forest",
+    "build_forest_from_pins",
+    "rmst_length",
+]
 
 
 def _prim_edges(x: np.ndarray, y: np.ndarray) -> Tuple[List[Tuple[int, int]], float]:
@@ -242,35 +249,81 @@ def _iterated_one_steiner(
 def _prune_leaf_steiners(
     xs: np.ndarray,
     ys: np.ndarray,
-    edges: List[Tuple[int, int]],
+    edges: Sequence[Tuple[int, int]],
     n_pins: int,
-) -> Tuple[np.ndarray, np.ndarray, List[Tuple[int, int]], np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Remove Steiner nodes of degree <= 1, iterating to a fixed point.
 
     Returns the remapped coordinates/edges plus the *original* index of
     each surviving node (pins always survive and keep their order).
+
+    The peel is fully vectorised: degrees come from ``np.bincount`` and
+    membership tests are boolean-mask lookups, so one iteration is O(E)
+    (a chain of S dangling Steiner points still needs S iterations, one
+    per peeled layer, but never the quadratic list scans the original
+    implementation performed).  The returned ``edges`` is an ``(E, 2)``
+    int array in the same order as the input.
     """
     n = len(xs)
+    edge_arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
     original = np.arange(n, dtype=np.int64)
     while True:
-        degree = np.zeros(n, dtype=np.int64)
-        for a, b in edges:
-            degree[a] += 1
-            degree[b] += 1
-        removable = [v for v in range(n) if original[v] >= n_pins and degree[v] <= 1]
-        if not removable:
+        degree = np.bincount(edge_arr.ravel(), minlength=n)
+        removed = (original >= n_pins) & (degree <= 1)
+        if not removed.any():
             break
-        removed = set(removable)
-        edges = [(a, b) for a, b in edges if a not in removed and b not in removed]
-        keep = np.array([v for v in range(n) if v not in removed], dtype=np.int64)
+        edge_keep = ~(removed[edge_arr[:, 0]] | removed[edge_arr[:, 1]])
+        keep = np.nonzero(~removed)[0]
         remap_step = np.full(n, -1, dtype=np.int64)
         remap_step[keep] = np.arange(len(keep))
         xs = xs[keep]
         ys = ys[keep]
         original = original[keep]
-        edges = [(int(remap_step[a]), int(remap_step[b])) for a, b in edges]
+        edge_arr = remap_step[edge_arr[edge_keep]]
         n = len(xs)
-    return xs, ys, edges, original
+    return xs, ys, edge_arr, original
+
+
+def _assemble_tree(
+    x: np.ndarray,
+    y: np.ndarray,
+    pins: np.ndarray,
+    driver_local: int,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    owners: List[Tuple[int, int]],
+    edges: Optional[Sequence[Tuple[int, int]]] = None,
+) -> RoutingTree:
+    """Shared tail of RSMT construction: MST edges -> prune -> root.
+
+    ``xs``/``ys`` are the pin coordinates plus any inserted Steiner
+    points (in insertion order, owners parallel to the Steiner suffix).
+    ``edges`` may carry a precomputed MST edge list (the batched path
+    extracts edges for a whole bucket at once); when omitted the scalar
+    Prim kernel runs here.
+    """
+    n = len(x)
+    if edges is None:
+        edges, _ = _prim_edges(xs, ys)
+    xs, ys, edges, original = _prune_leaf_steiners(xs, ys, edges, n)
+    n_total = len(xs)
+    n_steiner = n_total - n
+    owner_x = np.arange(n_total, dtype=np.int64)
+    owner_y = np.arange(n_total, dtype=np.int64)
+    for v in range(n, n_total):
+        k = int(original[v]) - n  # index into the insertion-order owner list
+        owner_x[v] = owners[k][0]
+        owner_y[v] = owners[k][1]
+    parent = _root_edges(n_total, edges, driver_local)
+    return RoutingTree(
+        x=xs,
+        y=ys,
+        parent=parent,
+        pins=np.concatenate([pins, np.full(n_steiner, -1, dtype=np.int64)]),
+        owner_x=owner_x,
+        owner_y=owner_y,
+        root=driver_local,
+    )
 
 
 def build_rsmt(
@@ -330,26 +383,76 @@ def build_rsmt(
     else:
         xs, ys, owners = x.copy(), y.copy(), []
 
-    edges, _ = _prim_edges(xs, ys)
-    xs, ys, edges, original = _prune_leaf_steiners(xs, ys, edges, n)
-    n_total = len(xs)
-    n_steiner = n_total - n
-    owner_x = np.arange(n_total, dtype=np.int64)
-    owner_y = np.arange(n_total, dtype=np.int64)
-    for v in range(n, n_total):
-        k = int(original[v]) - n  # index into the insertion-order owner list
-        owner_x[v] = owners[k][0]
-        owner_y[v] = owners[k][1]
-    parent = _root_edges(n_total, edges, driver_local)
-    return RoutingTree(
-        x=xs,
-        y=ys,
-        parent=parent,
-        pins=np.concatenate([pins, np.full(n_steiner, -1, dtype=np.int64)]),
-        owner_x=owner_x,
-        owner_y=owner_y,
-        root=driver_local,
-    )
+    return _assemble_tree(x, y, pins, driver_local, xs, ys, owners)
+
+
+def _routable_nets(
+    design: Design, net_ids: Iterable[int], include_clock: bool
+) -> List[int]:
+    """Filter to nets that get a tree (>= 2 pins, driven, non-clock)."""
+    out = []
+    for ni in net_ids:
+        if (
+            design.net_degree(ni) >= 2
+            and design.net_driver[ni] >= 0
+            and (include_clock or not design.net_is_clock[ni])
+        ):
+            out.append(int(ni))
+    return out
+
+
+def build_trees_for_nets(
+    design: Design,
+    px: np.ndarray,
+    py: np.ndarray,
+    net_ids: Sequence[int],
+    max_steiner_degree: int = 24,
+    max_candidates: int = 64,
+    include_clock: bool = False,
+    batched: bool = True,
+) -> Dict[int, RoutingTree]:
+    """Route a subset of nets from explicit *pin* coordinates.
+
+    This is the entry point of the dirty-net incremental rebuild path
+    (and of checkpoint restoration, which replays each net's tree from
+    the pin coordinates it was last built at).  Unroutable nets in
+    ``net_ids`` are silently skipped.  With ``batched=True`` nets are
+    degree-bucketed through :mod:`repro.route.batch`; the scalar path is
+    kept as the reference implementation and for candidate-pruned
+    degrees.
+    """
+    ids = _routable_nets(design, net_ids, include_clock)
+    if not ids:
+        return {}
+    pins_list = [design.net_pins(ni) for ni in ids]
+    drivers = [
+        int(np.nonzero(pins == design.net_driver[ni])[0][0])
+        for ni, pins in zip(ids, pins_list)
+    ]
+    if batched:
+        from .batch import build_rsmt_batch
+
+        trees = build_rsmt_batch(
+            [px[p] for p in pins_list],
+            [py[p] for p in pins_list],
+            pins_list,
+            drivers,
+            max_steiner_degree=max_steiner_degree,
+            max_candidates=max_candidates,
+        )
+    else:
+        trees = [
+            build_rsmt(
+                px[pins],
+                py[pins],
+                pins,
+                driver_local=drv,
+                max_steiner_degree=max_steiner_degree,
+                max_candidates=max_candidates,
+            )
+            for pins, drv in zip(pins_list, drivers)
+        ]
+    return dict(zip(ids, trees))
 
 
 def build_trees(
@@ -358,35 +461,27 @@ def build_trees(
     cell_y: Optional[np.ndarray] = None,
     max_steiner_degree: int = 24,
     include_clock: bool = False,
+    batched: bool = True,
 ) -> List[Optional[RoutingTree]]:
     """Build routing trees for every timing net of a design.
 
     Clock nets are skipped by default (the evaluation uses an ideal clock),
     as are driverless and single-pin nets; those entries are ``None``.
+    ``batched=False`` forces the scalar per-net reference path (the
+    batched kernels produce bit-identical trees; the flag exists for
+    benchmarking and equivalence testing).
     """
     px, py = design.pin_positions(cell_x, cell_y)
-    trees: List[Optional[RoutingTree]] = []
-    for ni in range(design.n_nets):
-        pins = design.net_pins(ni)
-        driver = design.net_driver[ni]
-        if (
-            len(pins) < 2
-            or driver < 0
-            or (design.net_is_clock[ni] and not include_clock)
-        ):
-            trees.append(None)
-            continue
-        driver_local = int(np.nonzero(pins == driver)[0][0])
-        trees.append(
-            build_rsmt(
-                px[pins],
-                py[pins],
-                pins,
-                driver_local=driver_local,
-                max_steiner_degree=max_steiner_degree,
-            )
-        )
-    return trees
+    by_net = build_trees_for_nets(
+        design,
+        px,
+        py,
+        range(design.n_nets),
+        max_steiner_degree=max_steiner_degree,
+        include_clock=include_clock,
+        batched=batched,
+    )
+    return [by_net.get(ni) for ni in range(design.n_nets)]
 
 
 def build_forest(
@@ -398,4 +493,22 @@ def build_forest(
     """Convenience wrapper: route every timing net and flatten to a Forest."""
     with PROFILER.stage("route.build_forest"):
         trees = build_trees(design, cell_x, cell_y, **kwargs)
+        return Forest(trees, design.n_pins)
+
+
+def build_forest_from_pins(
+    design: Design, px: np.ndarray, py: np.ndarray, **kwargs
+) -> Forest:
+    """Route every timing net from explicit per-pin coordinates.
+
+    Used by checkpoint restoration: a dirty-net incremental forest is a
+    mixture of trees built at different iterations, but each tree is a
+    pure function of its own pins' coordinates at build time, so a
+    per-pin coordinate snapshot reconstructs the exact forest.
+    """
+    with PROFILER.stage("route.build_forest"):
+        by_net = build_trees_for_nets(
+            design, px, py, range(design.n_nets), **kwargs
+        )
+        trees = [by_net.get(ni) for ni in range(design.n_nets)]
         return Forest(trees, design.n_pins)

@@ -115,52 +115,131 @@ class Forest:
         self.trees = list(trees)
         self.n_pins_total = n_pins_total
 
-        offsets = []
-        total = 0
-        for tree in self.trees:
-            offsets.append(total)
-            if tree is not None:
-                total += tree.n_nodes
-        self.node_offset = np.array(offsets + [total], dtype=np.int64)
+        # Flattening is fully vectorised: per-tree arrays are gathered
+        # into Python lists once and concatenated in C, per-node fields
+        # are rebased with np.repeat'ed offsets, and depths/levels come
+        # from a whole-forest frontier propagation instead of a per-tree
+        # O(n^2) Python loop.  (The per-net RSMT kernels are batched in
+        # repro.route.batch; flattening must not become the new scalar
+        # bottleneck.)
+        live = [
+            (ni, t) for ni, t in enumerate(self.trees) if t is not None
+        ]
+        sizes = np.zeros(len(self.trees), dtype=np.int64)
+        for ni, t in live:
+            sizes[ni] = t.n_nodes
+        self.node_offset = np.concatenate(
+            [[0], np.cumsum(sizes)]
+        ).astype(np.int64)
+        total = int(self.node_offset[-1])
         self.n_nodes = total
 
-        self.parent = np.full(total, -1, dtype=np.int64)
-        self.node_net = np.full(total, -1, dtype=np.int64)
-        self.node_pin = np.full(total, -1, dtype=np.int64)
-        self.owner_x_pin = np.full(total, -1, dtype=np.int64)
-        self.owner_y_pin = np.full(total, -1, dtype=np.int64)
-        self.is_root = np.zeros(total, dtype=bool)
-        depth = np.full(total, 0, dtype=np.int64)
+        if live:
+            live_ids = np.array([ni for ni, _ in live], dtype=np.int64)
+            live_sizes = sizes[live_ids]
+            bases = np.repeat(self.node_offset[live_ids], live_sizes)
+            parent = np.concatenate([t.parent for _, t in live])
+            hp = parent >= 0
+            parent[hp] += bases[hp]
+            self.parent = parent
+            self.node_net = np.repeat(live_ids, live_sizes)
+            self.node_pin = np.concatenate([t.pins for _, t in live])
+            owner_x = np.concatenate([t.owner_x for _, t in live]) + bases
+            owner_y = np.concatenate([t.owner_y for _, t in live]) + bases
+            self.owner_x_pin = self.node_pin[owner_x]
+            self.owner_y_pin = self.node_pin[owner_y]
+            self.is_root = np.zeros(total, dtype=bool)
+            roots = self.node_offset[live_ids] + np.array(
+                [t.root for _, t in live], dtype=np.int64
+            )
+            self.is_root[roots] = True
+        else:
+            self.parent = np.full(total, -1, dtype=np.int64)
+            self.node_net = np.full(total, -1, dtype=np.int64)
+            self.node_pin = np.full(total, -1, dtype=np.int64)
+            self.owner_x_pin = np.full(total, -1, dtype=np.int64)
+            self.owner_y_pin = np.full(total, -1, dtype=np.int64)
+            self.is_root = np.zeros(total, dtype=bool)
 
-        for ni, tree in enumerate(self.trees):
-            if tree is None:
-                continue
-            base = self.node_offset[ni]
-            n = tree.n_nodes
-            sl = slice(base, base + n)
-            parent = tree.parent.copy()
-            has_parent = parent >= 0
-            parent[has_parent] += base
-            self.parent[sl] = parent
-            self.node_net[sl] = ni
-            self.node_pin[sl] = tree.pins
-            self.owner_x_pin[sl] = tree.pins[tree.owner_x]
-            self.owner_y_pin[sl] = tree.pins[tree.owner_y]
-            self.is_root[base + tree.root] = True
-            depth[sl] = tree.depths()
-
-        self.depth = depth
-        self.max_depth = int(depth.max()) if total else 0
-        # Node indices grouped by depth: levels[d] = nodes at depth d.
-        self.levels: List[np.ndarray] = [
-            np.nonzero(depth == d)[0] for d in range(self.max_depth + 1)
-        ]
         self.has_parent = self.parent >= 0
+        self.depth = self._compute_depths()
+        self._rebuild_levels()
         # Map: for each global pin that appears in some tree, its node index.
         self.pin_node = np.full(n_pins_total, -1, dtype=np.int64)
         pin_mask = self.node_pin >= 0
         self.pin_node[self.node_pin[pin_mask]] = np.nonzero(pin_mask)[0]
         self.is_steiner = ~pin_mask
+
+    def _compute_depths(self) -> np.ndarray:
+        """Whole-forest depth via vectorised frontier propagation."""
+        depth = np.where(self.is_root, 0, -1).astype(np.int64)
+        safe_parent = np.maximum(self.parent, 0)
+        while True:
+            newly = (
+                (depth < 0) & self.has_parent & (depth[safe_parent] >= 0)
+            )
+            if not newly.any():
+                break
+            depth[newly] = depth[safe_parent[newly]] + 1
+        return depth
+
+    def _rebuild_levels(self) -> None:
+        """Group node indices by depth (levels[d] ascending within d)."""
+        depth = self.depth
+        self.max_depth = int(depth.max()) if self.n_nodes else 0
+        counts = np.bincount(depth, minlength=self.max_depth + 1)
+        order = np.argsort(depth, kind="stable")
+        self.levels: List[np.ndarray] = np.split(
+            order, np.cumsum(counts[:-1])
+        )
+
+    def splice(self, updates: "dict[int, RoutingTree]") -> "Forest":
+        """Replace the trees of a few nets, reusing the flattened arrays.
+
+        The dirty-net incremental rebuild path calls this between full
+        RSMT rebuilds.  When every replacement has the same node count as
+        the tree it replaces (the common case - net degree is fixed, only
+        Steiner counts can drift), the per-net slices are patched in
+        place and only the depth/level grouping is recomputed; otherwise
+        the forest is reflattened from the updated tree list.  Returns
+        the updated forest (``self`` when patched in place).
+        """
+        if not updates:
+            return self
+        sizes_match = all(
+            self.trees[ni] is not None
+            and tree.n_nodes == self.trees[ni].n_nodes
+            for ni, tree in updates.items()
+        )
+        if not sizes_match:
+            trees = list(self.trees)
+            for ni, tree in updates.items():
+                trees[ni] = tree
+            return Forest(trees, self.n_pins_total)
+
+        for ni, tree in updates.items():
+            self.trees[ni] = tree
+            base = int(self.node_offset[ni])
+            n = tree.n_nodes
+            sl = slice(base, base + n)
+            parent = tree.parent.copy()
+            hp = parent >= 0
+            parent[hp] += base
+            self.parent[sl] = parent
+            self.node_pin[sl] = tree.pins
+            self.owner_x_pin[sl] = tree.pins[tree.owner_x]
+            self.owner_y_pin[sl] = tree.pins[tree.owner_y]
+            self.is_root[sl] = False
+            self.is_root[base + tree.root] = True
+            pin_mask = tree.pins >= 0
+            self.pin_node[tree.pins[pin_mask]] = (
+                base + np.nonzero(pin_mask)[0]
+            )
+            self.is_steiner[sl] = ~pin_mask
+        self.has_parent = self.parent >= 0
+        self.depth = self._compute_depths()
+        self._rebuild_levels()
+        return self
 
     def node_coords(
         self, pin_x: np.ndarray, pin_y: np.ndarray

@@ -126,7 +126,9 @@ def elmore_forward(
     cap = intrinsic_cap.copy()
     half_wire = 0.5 * wire.cap_per_um * edge_len
     cap[hp] += half_wire[hp]
-    np.add.at(cap, parent[hp], half_wire[hp])
+    # bincount is a much faster deterministic scatter-add than np.add.at
+    # (it sums each bin in input order before a single vector add).
+    cap += np.bincount(parent[hp], weights=half_wire[hp], minlength=n)
 
     load = cap.copy()
     delay = np.zeros(n)
@@ -136,14 +138,16 @@ def elmore_forward(
     levels = forest.levels
     # Pass 1 (bottom-up): Load(u) = Cap(u) + sum_child Load(v).
     for level in reversed(levels[1:]):
-        np.add.at(load, parent[level], load[level])
+        load += np.bincount(parent[level], weights=load[level], minlength=n)
     # Pass 2 (top-down): Delay(u) = Delay(fa(u)) + Res(fa->u) * Load(u).
     for level in levels[1:]:
         delay[level] = delay[parent[level]] + edge_res[level] * load[level]
     # Pass 3 (bottom-up): LDelay(u) = Cap(u)*Delay(u) + sum_child LDelay(v).
     ldelay += cap * delay
     for level in reversed(levels[1:]):
-        np.add.at(ldelay, parent[level], ldelay[level])
+        ldelay += np.bincount(
+            parent[level], weights=ldelay[level], minlength=n
+        )
     # Pass 4 (top-down): Beta(u) = Beta(fa(u)) + Res(fa->u) * LDelay(u).
     for level in levels[1:]:
         beta[level] = beta[parent[level]] + edge_res[level] * ldelay[level]

@@ -34,7 +34,7 @@ from ..core.net_prop import net_forward_level
 from ..netlist.design import Design
 from ..netlist.library import FALL, RISE
 from ..perf import PROFILER
-from ..route.rsmt import build_rsmt
+from ..route.rsmt import build_trees_for_nets
 from ..telemetry.events import current_recorder
 from ..route.tree import Forest, RoutingTree
 from .analysis import StaticTimingAnalyzer
@@ -187,27 +187,20 @@ class IncrementalTimer:
         design = self.design
         px, py = design.pin_positions(self.x, self.y)
         affected: Set[int] = set()
+        # Degree-bucketed batched rebuild (bit-identical to per-net
+        # build_rsmt; see repro.route.batch).
+        by_net = build_trees_for_nets(
+            design,
+            px,
+            py,
+            list(nets),
+            max_steiner_degree=self.max_steiner_degree,
+        )
         rebuilt: List[RoutingTree] = []
-        for ni in nets:
-            pins = design.net_pins(ni)
-            driver = design.net_driver[ni]
-            if (
-                len(pins) < 2
-                or driver < 0
-                or design.net_is_clock[ni]
-            ):
-                continue
-            driver_local = int(np.nonzero(pins == driver)[0][0])
-            tree = build_rsmt(
-                px[pins],
-                py[pins],
-                pins,
-                driver_local=driver_local,
-                max_steiner_degree=self.max_steiner_degree,
-            )
+        for ni, tree in by_net.items():
             self.trees[ni] = tree
             rebuilt.append(tree)
-            affected.update(int(p) for p in pins)
+            affected.update(int(p) for p in design.net_pins(ni))
         if not rebuilt:
             return affected
         mini = Forest(rebuilt, design.n_pins)

@@ -1,0 +1,137 @@
+"""Process-parallel suite runner: determinism, manifests, CLI plumbing.
+
+``--jobs N`` must be a wall-clock-only knob: the per-design final
+metrics it produces are identical to a serial run, the merged suite
+manifest aggregates per-run telemetry and span trees, and the CLI
+``suite`` subcommand writes byte-stable metric files.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.__main__ import main as harness_main
+from repro.harness.parallel import (
+    SUITE_MANIFEST_FILENAME,
+    SuiteTask,
+    run_parallel,
+    suite_metrics,
+    write_suite_manifest,
+)
+from repro.perf import merge_span_trees
+
+# Small matrix that still exercises two designs and the timing objective.
+_TASKS = [
+    SuiteTask(design="miniblue4", mode="ours", max_iters=40),
+    SuiteTask(design="miniblue18", mode="ours", max_iters=40),
+    SuiteTask(design="miniblue4", mode="ours", seed=1, max_iters=40),
+]
+
+
+class TestMergeSpanTrees:
+    def test_sums_matched_nodes_and_rederives_self(self):
+        leaf = {"name": "k", "calls": 1, "total_s": 1.0, "self_s": 1.0,
+                "counters": {"n": 2}, "children": []}
+        tree = {"name": "run", "calls": 1, "total_s": 3.0, "self_s": 2.0,
+                "counters": {}, "children": [leaf]}
+        merged = merge_span_trees([tree, tree])
+        assert merged["calls"] == 2
+        (child,) = merged["children"]
+        assert child["calls"] == 2
+        assert child["total_s"] == 2.0
+        assert child["counters"] == {"n": 4}
+        # The root is a synthetic wrapper: its total is the child sum.
+        assert merged["total_s"] == 2.0
+        assert merged["self_s"] == 0.0
+
+    def test_disjoint_children_union(self):
+        def tree(child_name):
+            return {
+                "name": "run", "calls": 1, "total_s": 1.0, "self_s": 0.0,
+                "counters": {},
+                "children": [{"name": child_name, "calls": 1,
+                              "total_s": 1.0, "self_s": 1.0,
+                              "counters": {}, "children": []}],
+            }
+
+        merged = merge_span_trees([tree("a"), tree("b")])
+        assert {c["name"] for c in merged["children"]} == {"a", "b"}
+
+
+class TestRunParallelDeterminism:
+    def test_jobs2_metrics_identical_to_serial(self):
+        serial = run_parallel(_TASKS, jobs=1)
+        parallel = run_parallel(_TASKS, jobs=2)
+        assert suite_metrics(_TASKS, serial) == suite_metrics(_TASKS, parallel)
+
+    def test_results_in_task_order(self):
+        records = run_parallel(_TASKS, jobs=2)
+        assert [r.design for r in records] == [t.design for t in _TASKS]
+
+    def test_seeds_keyed_separately(self):
+        records = run_parallel(_TASKS, jobs=1)
+        metrics = suite_metrics(_TASKS, records)
+        assert set(metrics["miniblue4"]["ours"]) == {"s0", "s1"}
+        assert set(metrics["miniblue18"]["ours"]) == {"s0"}
+
+
+class TestSuiteManifest:
+    def test_manifest_merges_runs_and_span_trees(self, tmp_path):
+        tdir = str(tmp_path)
+        tasks = [
+            SuiteTask(design="miniblue4", mode="ours", max_iters=40,
+                      telemetry_dir=tdir),
+            SuiteTask(design="miniblue18", mode="ours", max_iters=40,
+                      telemetry_dir=tdir),
+        ]
+        records = run_parallel(tasks, jobs=2)
+        path = write_suite_manifest(tdir, tasks, records, jobs=2)
+        assert os.path.basename(path) == SUITE_MANIFEST_FILENAME
+        payload = json.loads(open(path).read())
+        assert payload["jobs"] == 2
+        assert payload["n_runs"] == 2
+        run_ids = [r["run_id"] for r in payload["runs"]]
+        assert run_ids == ["miniblue4_ours_s0", "miniblue18_ours_s0"]
+        # Deterministic run ids double as telemetry directory names.
+        for entry in payload["runs"]:
+            assert entry["manifest"] is not None
+            assert os.path.isdir(os.path.join(tdir, entry["run_id"]))
+        merged = payload["merged_span_tree"]
+        assert merged is not None
+        names = {c["name"] for c in merged["children"]}
+        assert "route.build_forest" in names
+
+    def test_no_telemetry_runs_produce_null_tree(self, tmp_path):
+        tasks = [SuiteTask(design="miniblue4", mode="ours", max_iters=30)]
+        records = run_parallel(tasks, jobs=1)
+        path = write_suite_manifest(str(tmp_path), tasks, records, jobs=1)
+        payload = json.loads(open(path).read())
+        assert payload["merged_span_tree"] is None
+        assert payload["runs"][0]["final_metrics"]["iterations"] > 0
+
+
+class TestSuiteCLI:
+    def test_suite_subcommand_metrics_byte_identical_across_jobs(
+        self, tmp_path
+    ):
+        out1 = str(tmp_path / "m1.json")
+        out2 = str(tmp_path / "m2.json")
+        base = [
+            "suite", "--designs", "miniblue4", "--modes", "ours",
+            "--max-iters", "40", "--metrics-out",
+        ]
+        assert harness_main(base + [out1, "--jobs", "1"]) == 0
+        assert harness_main(base + [out2, "--jobs", "2"]) == 0
+        assert open(out1, "rb").read() == open(out2, "rb").read()
+
+    def test_suite_subcommand_writes_manifest(self, tmp_path):
+        tdir = str(tmp_path / "telemetry")
+        rc = harness_main(
+            [
+                "suite", "--designs", "miniblue4", "--modes", "ours",
+                "--max-iters", "40", "--jobs", "1", "--telemetry", tdir,
+            ]
+        )
+        assert rc == 0
+        assert os.path.exists(os.path.join(tdir, SUITE_MANIFEST_FILENAME))
