@@ -1,0 +1,52 @@
+"""reprolint: AST-based invariant checks for the reproduction codebase.
+
+A small static-analysis framework plus the repo-specific rules that keep
+the paper's reproducibility contracts honest: deterministic scatters,
+guarded numerics, seeded randomness, closed telemetry vocabularies,
+checkpoint completeness, and declared forward/backward kernel pairs.
+
+Entry points:
+
+- ``python -m repro.analysis [--json] [paths...]`` - lint the repo,
+  exit non-zero on findings not covered by the committed baseline;
+- :func:`repro.analysis.run_analysis` - programmatic equivalent;
+- :func:`repro.analysis.provenance.analysis_provenance` - the summary
+  dict stamped into telemetry run manifests.
+
+See ``DESIGN.md`` ("Static analysis & enforced invariants") for the rule
+catalogue and the suppression/baseline policy.
+"""
+
+from .core import (
+    Analyzer,
+    FileContext,
+    Finding,
+    ProjectIndex,
+    Report,
+    Rule,
+    RULE_REGISTRY,
+    register_rule,
+    run_analysis,
+)
+from .baseline import (
+    Baseline,
+    BaselineIntegrityError,
+    fingerprint,
+)
+from .rules import RULES_VERSION
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "BaselineIntegrityError",
+    "FileContext",
+    "Finding",
+    "ProjectIndex",
+    "Report",
+    "Rule",
+    "RULE_REGISTRY",
+    "RULES_VERSION",
+    "fingerprint",
+    "register_rule",
+    "run_analysis",
+]

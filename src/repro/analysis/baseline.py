@@ -1,0 +1,159 @@
+"""Baseline files: grandfathered findings with a tamper-evident hash.
+
+A baseline lets reprolint be adopted on a codebase with pre-existing
+findings: ``--write-baseline`` records every current finding as a
+*fingerprint*, and later runs only fail on findings **not** in the
+baseline.  Fingerprints are location-fuzzy on purpose - ``rule`` +
+``path`` + a hash of the offending source line + an occurrence counter -
+so unrelated edits moving a grandfathered line do not break CI, while a
+*new* violation (different line content, or one more occurrence of the
+same content) always does.
+
+The file carries an integrity hash over its canonical content.  Editing
+the baseline by hand (e.g. deleting entries to "shrink" it, or adding
+entries to smuggle a new finding past CI) invalidates the hash and makes
+every subsequent run fail with :class:`BaselineIntegrityError` (exit
+code 2) until the baseline is regenerated explicitly.  That is the CI
+protection against silent baseline edits: the only way to change the
+file is ``--write-baseline``, which shows up in review as a whole-file
+regeneration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core import Finding
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Baseline",
+    "BaselineIntegrityError",
+    "fingerprint",
+    "fingerprints",
+]
+
+#: Conventional baseline location at the repo root.
+BASELINE_FILENAME = "reprolint.baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class BaselineIntegrityError(RuntimeError):
+    """The baseline file was edited outside ``--write-baseline``."""
+
+
+def fingerprint(finding: Finding, occurrence: int) -> str:
+    """Stable identity of one finding, independent of line numbers."""
+    snippet_sha = hashlib.sha256(finding.snippet.encode("utf-8")).hexdigest()[:16]
+    return f"{finding.rule}:{finding.path}:{snippet_sha}:{occurrence}"
+
+
+def fingerprints(findings: Sequence[Finding]) -> List[str]:
+    """Fingerprints for ``findings``, numbering duplicates in file order."""
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[str] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        snippet_sha = hashlib.sha256(finding.snippet.encode("utf-8")).hexdigest()[:16]
+        key = (finding.rule, finding.path, snippet_sha)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(f"{finding.rule}:{finding.path}:{snippet_sha}:{occurrence}")
+    return out
+
+
+def _integrity_hash(rules_version: str, entries: Sequence[str]) -> str:
+    canonical = json.dumps(
+        {
+            "version": _FORMAT_VERSION,
+            "rules_version": rules_version,
+            "entries": sorted(entries),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    def __init__(
+        self,
+        entries: Sequence[str],
+        rules_version: str = "",
+        integrity_hash: Optional[str] = None,
+    ) -> None:
+        self.entries = list(entries)
+        self.rules_version = rules_version
+        self.integrity_hash = integrity_hash
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([], rules_version="", integrity_hash=None)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load and verify a baseline file; missing file -> empty."""
+        if not os.path.exists(path):
+            return cls.empty()
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineIntegrityError(f"unreadable baseline {path}: {exc}")
+        entries = data.get("entries", [])
+        rules_version = data.get("rules_version", "")
+        stored = data.get("integrity", "")
+        expected = _integrity_hash(rules_version, entries)
+        if stored != expected:
+            raise BaselineIntegrityError(
+                f"baseline {path} failed its integrity check; it was edited "
+                "by hand. Regenerate it with "
+                "'python -m repro.analysis --write-baseline' and commit the "
+                "result."
+            )
+        return cls(entries, rules_version=rules_version, integrity_hash=stored)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], rules_version: str
+    ) -> "Baseline":
+        entries = fingerprints(findings)
+        return cls(
+            entries,
+            rules_version=rules_version,
+            integrity_hash=_integrity_hash(rules_version, entries),
+        )
+
+    def write(self, path: str) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "rules_version": self.rules_version,
+            "entries": sorted(self.entries),
+            "integrity": _integrity_hash(self.rules_version, self.entries),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        self.integrity_hash = payload["integrity"]
+
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, grandfathered) against this baseline."""
+        if not self.entries:
+            return list(findings), []
+        allowed = set(self.entries)
+        ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding, fp in zip(ordered, fingerprints(ordered)):
+            (grandfathered if fp in allowed else new).append(finding)
+        return new, grandfathered

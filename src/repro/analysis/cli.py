@@ -1,0 +1,138 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Exit codes:
+
+- ``0`` - no findings beyond the committed baseline;
+- ``1`` - new findings (or ``--write-baseline`` failed);
+- ``2`` - the baseline file failed its integrity check (hand-edited).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .baseline import BASELINE_FILENAME, Baseline, BaselineIntegrityError
+from .core import RULE_REGISTRY, META_RULES, Analyzer, Report, run_analysis
+from .rules import RULES_VERSION
+
+__all__ = ["main", "find_repo_root"]
+
+
+def find_repo_root(start: Optional[str] = None) -> str:
+    """Walk up from ``start`` (default cwd) to the dir holding ``src/repro``."""
+    here = os.path.abspath(start or os.getcwd())
+    probe = here
+    while True:
+        if os.path.isdir(os.path.join(probe, "src", "repro")):
+            return probe
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            return here
+        probe = parent
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: AST-based invariant checks for this repo",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src, benchmarks)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repo root (default: auto-detected from cwd)",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the report as JSON to PATH (or stdout if no PATH)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: <root>/{BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _print_report(report: Report) -> None:
+    for finding in report.new_findings:
+        print(f"{finding.location()}: [{finding.rule}] {finding.message}")
+        if finding.snippet:
+            print(f"    {finding.snippet}")
+    summary = (
+        f"reprolint v{report.rules_version}: {report.files_checked} files, "
+        f"{len(report.new_findings)} new finding(s), "
+        f"{len(report.baselined_findings)} baselined, "
+        f"{report.suppressed_count} suppressed"
+    )
+    print(summary)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        # Importing rules registers them; Analyzer does so lazily, so
+        # force it here for the bare listing.
+        from . import rules as _rules  # noqa: F401
+
+        for rule_id in sorted(RULE_REGISTRY):
+            print(f"{rule_id}: {RULE_REGISTRY[rule_id].description}")
+        for rule_id in sorted(META_RULES):
+            print(f"{rule_id} (meta): {META_RULES[rule_id]}")
+        return 0
+
+    root = os.path.abspath(args.root) if args.root else find_repo_root()
+    baseline_path = args.baseline or os.path.join(root, BASELINE_FILENAME)
+    paths = args.paths or None
+
+    if args.write_baseline:
+        analyzer = Analyzer(root, paths=paths)
+        findings, n_files, _ = analyzer.run()
+        baseline = Baseline.from_findings(findings, RULES_VERSION)
+        baseline.write(baseline_path)
+        print(
+            f"wrote {baseline_path} ({len(baseline.entries)} grandfathered "
+            f"finding(s) over {n_files} files)"
+        )
+        return 0
+
+    try:
+        report = run_analysis(root, paths=paths, baseline_path=baseline_path)
+    except BaselineIntegrityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    if args.json != "-":
+        _print_report(report)
+    return 0 if report.clean else 1

@@ -1,0 +1,506 @@
+"""Framework core of reprolint: findings, suppressions, rules, analyzer.
+
+The pieces are deliberately small and dependency-free (stdlib ``ast``
+only):
+
+- :class:`Finding` - one rule violation at a file/line;
+- :class:`FileContext` - a parsed source file plus its inline
+  suppression comments (``# reprolint: allow[rule-id] reason``);
+- :class:`ProjectIndex` - repo-wide lookup tables (module functions,
+  test node ids, the telemetry event-kind vocabulary) that cross-file
+  rules need;
+- :class:`Rule` / :data:`RULE_REGISTRY` - the rule plug-in surface;
+- :class:`Analyzer` - walks the lint targets, applies every registered
+  rule, filters suppressed findings, and emits the meta findings
+  (``bad-suppression``, ``unused-suppression``);
+- :class:`Report` - the result bundle the CLI and the telemetry
+  provenance hook consume.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "FileContext",
+    "ProjectIndex",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "Analyzer",
+    "Report",
+    "run_analysis",
+    "DEFAULT_LINT_PATHS",
+]
+
+#: Directories scanned when the CLI is invoked without explicit paths.
+DEFAULT_LINT_PATHS = ("src", "benchmarks")
+
+#: Directories always parsed into the project index (cross-file rules
+#: resolve backward kernels and gradcheck tests against these even when
+#: they are not lint targets).
+INDEX_PATHS = ("src", "tests", "benchmarks")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+#: Matches ``reprolint: allow[<rule-id>] <reason>`` markers placed in a
+#: comment on the offending line or on the comment line directly above.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*reprolint:\s*allow\[(?P<rule>[A-Za-z0-9_-]+)\]\s*(?P<reason>.*)$"
+)
+
+#: Meta rules emitted by the analyzer itself; not suppressible.
+META_RULES = {
+    "bad-suppression": "suppression comment is malformed or names an unknown rule",
+    "unused-suppression": "suppression comment matched no finding",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored at a source location."""
+
+    rule: str
+    path: str  # repo-relative POSIX path
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# reprolint: allow[...]`` comment."""
+
+    line: int  # line the comment sits on (1-based)
+    target_line: int  # line the suppression applies to
+    rule: str
+    reason: str
+    used: bool = False
+
+
+class FileContext:
+    """A source file parsed once: AST, lines, and suppressions."""
+
+    def __init__(self, path: str, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath.replace(os.sep, "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=relpath)
+        self.suppressions: List[Suppression] = []
+        self.parse_errors: List[str] = []
+        self._scan_suppressions()
+
+    # ------------------------------------------------------------------
+    def _scan_suppressions(self) -> None:
+        # Tokenize so the marker is only honoured in real comments, never
+        # inside string literals or docstrings that merely mention it.
+        try:
+            comments = [
+                (tok.start[0], tok.start[1], tok.string)
+                for tok in tokenize.generate_tokens(io.StringIO(self.source).readline)
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):
+            comments = []
+        for lineno, col, text in comments:
+            match = _SUPPRESSION_RE.search(text)
+            if match is None:
+                continue
+            comment_only = self.lines[lineno - 1][:col].strip() == ""
+            target = lineno
+            if comment_only:
+                # A standalone suppression comment covers the next
+                # non-comment, non-blank line.
+                for later in range(lineno, len(self.lines)):
+                    candidate = self.lines[later].strip()
+                    if candidate and not candidate.startswith("#"):
+                        target = later + 1
+                        break
+            self.suppressions.append(
+                Suppression(
+                    line=lineno,
+                    target_line=target,
+                    rule=match.group("rule"),
+                    reason=match.group("reason").strip(),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def suppression_for(self, line: int, rule: str) -> Optional[Suppression]:
+        """The suppression covering ``rule`` at ``line``, if any."""
+        for sup in self.suppressions:
+            if sup.target_line == line and sup.rule == rule:
+                return sup
+        return None
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Check-and-mark: True (and marks used) if covered."""
+        sup = self.suppression_for(line, rule)
+        if sup is not None and sup.reason:
+            sup.used = True
+            return True
+        return False
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def module_name(self) -> Optional[str]:
+        """Dotted module name for files under ``src/`` (else None)."""
+        rel = self.relpath
+        if not rel.startswith("src/") or not rel.endswith(".py"):
+            return None
+        parts = rel[len("src/") : -len(".py")].split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+
+class ProjectIndex:
+    """Repo-wide lookup tables for cross-file rules."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.files: Dict[str, FileContext] = {}
+        self._functions: Optional[Set[str]] = None
+        self._event_kinds: Optional[Tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, root: str) -> "ProjectIndex":
+        index = cls(root)
+        for rel in iter_python_files(root, INDEX_PATHS):
+            index.add_file(rel)
+        return index
+
+    def add_file(self, relpath: str) -> Optional[FileContext]:
+        relpath = relpath.replace(os.sep, "/")
+        if relpath in self.files:
+            return self.files[relpath]
+        path = os.path.join(self.root, relpath)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+            ctx = FileContext(path, relpath, source)
+        except (OSError, SyntaxError, ValueError):
+            return None
+        self.files[relpath] = ctx
+        self._functions = None
+        return ctx
+
+    # ------------------------------------------------------------------
+    @property
+    def functions(self) -> Set[str]:
+        """Dotted names of every function/method under ``src/``."""
+        if self._functions is None:
+            names: Set[str] = set()
+            for ctx in self.files.values():
+                module = ctx.module_name()
+                if module is None:
+                    continue
+                for qualname in _iter_qualnames(ctx.tree):
+                    names.add(f"{module}.{qualname}")
+            self._functions = names
+        return self._functions
+
+    def has_function(self, dotted: str) -> bool:
+        return dotted in self.functions
+
+    # ------------------------------------------------------------------
+    def has_test(self, node_id: str) -> bool:
+        """True if a pytest node id (``file::Class::test``) resolves."""
+        parts = node_id.split("::")
+        relpath = parts[0].replace(os.sep, "/")
+        ctx = self.files.get(relpath) or self.add_file(relpath)
+        if ctx is None:
+            return False
+        if len(parts) == 1:
+            return True
+        qualname = ".".join(parts[1:])
+        return qualname in set(_iter_qualnames(ctx.tree))
+
+    # ------------------------------------------------------------------
+    @property
+    def event_kinds(self) -> Tuple[str, ...]:
+        """The telemetry event vocabulary, extracted statically."""
+        if self._event_kinds is None:
+            kinds: Tuple[str, ...] = ()
+            ctx = self.files.get("src/repro/telemetry/events.py") or self.add_file(
+                "src/repro/telemetry/events.py"
+            )
+            if ctx is not None:
+                for node in ast.walk(ctx.tree):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    targets = [
+                        t.id for t in node.targets if isinstance(t, ast.Name)
+                    ]
+                    if "EVENT_KINDS" not in targets:
+                        continue
+                    if isinstance(node.value, (ast.Tuple, ast.List)):
+                        kinds = tuple(
+                            elt.value
+                            for elt in node.value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)
+                        )
+            self._event_kinds = kinds
+        return self._event_kinds
+
+
+def _iter_qualnames(tree: ast.Module) -> Iterable[str]:
+    """Qualified names of defs: top-level functions, classes, methods."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name
+        elif isinstance(node, ast.ClassDef):
+            yield node.name
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{sub.name}"
+
+
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`id`/:attr:`description` and implement
+    :meth:`check` yielding raw findings; the analyzer applies inline
+    suppressions afterwards (rules needing finer-grained suppression
+    logic, e.g. over several candidate lines, may consult
+    ``ctx.is_suppressed`` themselves and emit nothing).
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # Helper for subclasses.
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.line_text(line),
+        )
+
+
+#: ``rule id -> Rule instance``; populated by :func:`register_rule`.
+RULE_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls):
+    """Class decorator adding a rule (instantiated) to the registry."""
+    instance = cls()
+    if not instance.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if instance.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id!r}")
+    RULE_REGISTRY[instance.id] = instance
+    return cls
+
+
+# ----------------------------------------------------------------------
+def iter_python_files(root: str, paths: Sequence[str]) -> List[str]:
+    """Repo-relative ``.py`` files under ``paths`` (sorted, deduped)."""
+    out: Set[str] = set()
+    for target in paths:
+        full = os.path.join(root, target)
+        if os.path.isfile(full) and full.endswith(".py"):
+            out.add(os.path.relpath(full, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in _SKIP_DIRS and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    out.add(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(rel.replace(os.sep, "/") for rel in out)
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    root: str
+    rules_version: str
+    files_checked: int
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined_findings: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    baseline_hash: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rules_version": self.rules_version,
+            "files_checked": self.files_checked,
+            "clean": self.clean,
+            "new_findings": [f.to_dict() for f in self.new_findings],
+            "baselined_findings": [f.to_dict() for f in self.baselined_findings],
+            "suppressed_count": self.suppressed_count,
+            "baseline_hash": self.baseline_hash,
+        }
+
+
+class Analyzer:
+    """Run every registered rule over the lint targets."""
+
+    def __init__(
+        self,
+        root: str,
+        paths: Optional[Sequence[str]] = None,
+        rules: Optional[Dict[str, Rule]] = None,
+    ) -> None:
+        # Rules live in repro.analysis.rules; importing it registers them.
+        from . import rules as _rules  # noqa: F401
+
+        self.root = os.path.abspath(root)
+        self.paths = list(paths) if paths else [
+            p for p in DEFAULT_LINT_PATHS if os.path.exists(os.path.join(root, p))
+        ]
+        self.rules = dict(rules) if rules is not None else dict(RULE_REGISTRY)
+        self.index = ProjectIndex.build(self.root)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[List[Finding], int, int]:
+        """All unsuppressed findings, files-checked count, and the number
+        of honoured suppression comments."""
+        findings: List[Finding] = []
+        suppressed = 0
+        targets = iter_python_files(self.root, self.paths)
+        for rel in targets:
+            ctx = self.index.files.get(rel) or self.index.add_file(rel)
+            if ctx is None:
+                findings.append(
+                    Finding(
+                        rule="parse-error",
+                        path=rel,
+                        line=1,
+                        col=0,
+                        message="file could not be parsed",
+                    )
+                )
+                continue
+            for rule in self.rules.values():
+                for finding in rule.check(ctx, self.index):
+                    sup = ctx.suppression_for(finding.line, finding.rule)
+                    if sup is not None and sup.reason:
+                        sup.used = True
+                        continue
+                    findings.append(finding)
+            findings.extend(self._meta_findings(ctx))
+            suppressed += sum(1 for sup in ctx.suppressions if sup.used)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings, len(targets), suppressed
+
+    # ------------------------------------------------------------------
+    def _meta_findings(self, ctx: FileContext) -> List[Finding]:
+        """Malformed and unused suppression comments are findings too."""
+        out: List[Finding] = []
+        known = set(self.rules) | set(META_RULES)
+        for sup in ctx.suppressions:
+            if sup.rule not in known:
+                out.append(
+                    Finding(
+                        rule="bad-suppression",
+                        path=ctx.relpath,
+                        line=sup.line,
+                        col=0,
+                        message=f"suppression names unknown rule {sup.rule!r}",
+                        snippet=ctx.line_text(sup.line),
+                    )
+                )
+            elif not sup.reason:
+                out.append(
+                    Finding(
+                        rule="bad-suppression",
+                        path=ctx.relpath,
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            f"suppression of {sup.rule!r} has no reason; write "
+                            "'# reprolint: allow[rule-id] why it is safe'"
+                        ),
+                        snippet=ctx.line_text(sup.line),
+                    )
+                )
+            elif not sup.used:
+                out.append(
+                    Finding(
+                        rule="unused-suppression",
+                        path=ctx.relpath,
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            f"suppression of {sup.rule!r} matched no finding; "
+                            "delete it"
+                        ),
+                        snippet=ctx.line_text(sup.line),
+                    )
+                )
+        return out
+
+
+def run_analysis(
+    root: str,
+    paths: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+) -> Report:
+    """Lint ``root`` and split findings against the committed baseline.
+
+    Raises :class:`repro.analysis.baseline.BaselineIntegrityError` if the
+    baseline file exists but fails its integrity check (hand-edited).
+    """
+    from .baseline import Baseline
+    from .rules import RULES_VERSION
+
+    analyzer = Analyzer(root, paths=paths)
+    findings, n_files, suppressed = analyzer.run()
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline.empty()
+    new, grandfathered = baseline.split(findings)
+    return Report(
+        root=analyzer.root,
+        rules_version=RULES_VERSION,
+        files_checked=n_files,
+        new_findings=new,
+        baselined_findings=grandfathered,
+        suppressed_count=suppressed,
+        baseline_hash=baseline.integrity_hash,
+    )

@@ -1,0 +1,454 @@
+"""The repo-specific reprolint rules.
+
+Each rule encodes one reproducibility contract of the codebase; see
+``DESIGN.md`` ("Static analysis & enforced invariants") for the policy
+behind each.  Importing this module registers every rule in
+:data:`repro.analysis.core.RULE_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .core import FileContext, Finding, ProjectIndex, Rule, register_rule
+
+__all__ = ["RULES_VERSION"]
+
+#: Bumped whenever a rule is added, removed, or changes what it flags;
+#: recorded in baselines and in telemetry run manifests.
+RULES_VERSION = "1.0"
+
+
+def _is_numpy(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+
+
+def _in_tests(ctx: FileContext) -> bool:
+    return ctx.relpath.startswith("tests/") or "/tests/" in ctx.relpath
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class NoScatterAddAt(Rule):
+    """``np.add.at`` is banned in favour of the shared bincount helpers.
+
+    ``repro.core.scatter`` provides bit-identical, order-preserving
+    replacements (``scatter_add`` and friends) that are both faster and
+    a single audited implementation of the deterministic-scatter
+    contract.  Reference implementations are exempt: the equivalence
+    tests in ``tests/`` and the scatter micro-benchmark *must* call
+    ``np.add.at`` to compare against.
+    """
+
+    id = "no-scatter-add-at"
+    description = (
+        "use repro.core.scatter helpers instead of np.add.at/np.subtract.at"
+    )
+
+    _UFUNCS = ("add", "subtract")
+    _ALLOWED_FILES = ("benchmarks/bench_scatter.py",)
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        if _in_tests(ctx) or ctx.relpath in self._ALLOWED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute) or node.attr != "at":
+                continue
+            inner = node.value
+            if (
+                isinstance(inner, ast.Attribute)
+                and inner.attr in self._UFUNCS
+                and _is_numpy(inner.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.{inner.attr}.at is banned; use the deterministic "
+                    "bincount helpers in repro.core.scatter (scatter_add, "
+                    "scatter_add_2d, scatter_accumulate, ...)",
+                )
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class NoSilentNanFix(Rule):
+    """NaN laundering outside the numerical guard is banned.
+
+    ``np.nan_to_num`` and ``np.errstate(invalid="ignore")`` silently
+    convert numerical faults into plausible-looking numbers; the guarded
+    runtime (``repro/runtime/guard.py``) is the one place allowed to do
+    that, because it quarantines and reports what it fixed.  Anywhere
+    else needs an inline suppression explaining why the NaNs are benign.
+    """
+
+    id = "no-silent-nanfix"
+    description = (
+        "np.nan_to_num / np.errstate(invalid='ignore') outside runtime/guard.py"
+    )
+
+    _ALLOWED_FILES = ("src/repro/runtime/guard.py",)
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        if ctx.relpath in self._ALLOWED_FILES or _in_tests(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "nan_to_num"
+                and _is_numpy(func.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "np.nan_to_num silently launders non-finite values; route "
+                    "them through the numerical guard (repro.runtime.guard) "
+                    "instead, or suppress with a reason",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "errstate"
+                and _is_numpy(func.value)
+            ):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "invalid"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value == "ignore"
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "np.errstate(invalid='ignore') hides invalid-value "
+                            "faults; let the numerical guard see them, or "
+                            "suppress with a reason",
+                        )
+                        break
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class SeededRng(Rule):
+    """Global numpy RNG state and unseeded generators are banned.
+
+    Every random draw in library code must come from an explicitly
+    seeded ``np.random.default_rng(seed)`` (or ``Generator``) threaded
+    through the call stack, or runs are not reproducible.  Tests are
+    exempt (they seed locally as they see fit).
+    """
+
+    id = "seeded-rng"
+    description = "no global np.random state; default_rng() must take a seed"
+
+    _GLOBAL_STATE = {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        if _in_tests(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                inner = node.value
+                if (
+                    isinstance(inner, ast.Attribute)
+                    and inner.attr == "random"
+                    and _is_numpy(inner.value)
+                    and node.attr in self._GLOBAL_STATE
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"np.random.{node.attr} uses process-global RNG state; "
+                        "thread an explicitly seeded np.random.default_rng "
+                        "through instead",
+                    )
+            if isinstance(node, ast.Call) and not node.args and not node.keywords:
+                func = node.func
+                name = None
+                if isinstance(func, ast.Name) and func.id == "default_rng":
+                    name = "default_rng"
+                elif isinstance(func, ast.Attribute) and func.attr == "default_rng":
+                    name = "default_rng"
+                if name is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "default_rng() without a seed draws OS entropy and is "
+                        "not reproducible; pass an explicit seed",
+                    )
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class TelemetryKindLiteral(Rule):
+    """Event-kind literals must belong to the telemetry vocabulary.
+
+    Any ``.event("kind", ...)`` call whose kind is a string literal is
+    checked against the ``EVENT_KINDS`` tuple extracted statically from
+    ``src/repro/telemetry/events.py``, so typos fail lint instead of
+    raising mid-run.  The diagnostic mirrors
+    :func:`repro.telemetry.events.kind_error_message`.
+    """
+
+    id = "telemetry-kind-literal"
+    description = "event-kind literals must be members of EVENT_KINDS"
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        kinds = index.event_kinds
+        if not kinds or _in_tests(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "event"):
+                continue
+            kind_node: Optional[ast.expr] = None
+            if node.args:
+                kind_node = node.args[0]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "kind":
+                        kind_node = kw.value
+                        break
+            if not (
+                isinstance(kind_node, ast.Constant)
+                and isinstance(kind_node.value, str)
+            ):
+                continue
+            kind = kind_node.value
+            if kind in kinds:
+                continue
+            message = f"unknown event kind {kind!r}; expected one of {kinds}"
+            close = difflib.get_close_matches(kind, kinds, n=1, cutoff=0.6)
+            if close:
+                message += f" (did you mean {close[0]!r}?)"
+            yield self.finding(ctx, kind_node, message)
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class CheckpointCompleteness(Rule):
+    """State-provider classes must round-trip everything they mutate.
+
+    A class exposing ``get_state``/``set_state`` participates in
+    checkpoint/restart; any attribute it mutates outside ``__init__``
+    (i.e. trajectory state) must appear among the keys of the dict
+    ``get_state`` returns (matched with leading underscores stripped),
+    or a checkpoint-resume will silently diverge from an uninterrupted
+    run.  Derived caches that are rebuilt on resume are suppressed
+    inline with a reason, on any line that mutates them.
+    """
+
+    id = "checkpoint-completeness"
+    description = "attributes mutated by state providers must be in get_state"
+
+    _EXCLUDED_METHODS = {"__init__", "get_state", "set_state"}
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                sub.name: sub
+                for sub in node.body
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "get_state" not in methods or "set_state" not in methods:
+                continue
+            keys = self._state_keys(methods["get_state"])
+            if keys is None:
+                continue  # get_state too dynamic to analyse statically
+            stripped_keys = {k.lstrip("_") for k in keys}
+            mutated = self._mutated_attrs(methods)
+            for attr in sorted(mutated):
+                if attr in keys or attr.lstrip("_") in stripped_keys:
+                    continue
+                lines = mutated[attr]
+                if any(ctx.is_suppressed(line, self.id) for line, _ in lines):
+                    continue
+                line, method = lines[0]
+                yield Finding(
+                    rule=self.id,
+                    path=ctx.relpath,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"{node.name}.{attr} is mutated in {method}() but "
+                        "missing from the get_state dict; checkpoint/restart "
+                        "will not round-trip it (suppress if it is a derived "
+                        "cache rebuilt on resume)"
+                    ),
+                    snippet=ctx.line_text(line),
+                )
+
+    # ------------------------------------------------------------------
+    def _state_keys(self, get_state: ast.FunctionDef) -> Optional[Set[str]]:
+        """String keys of the dict(s) returned by ``get_state``."""
+        keys: Set[str] = set()
+        saw_return = False
+        for node in ast.walk(get_state):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            saw_return = True
+            value = node.value
+            if isinstance(value, ast.Dict):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.add(key.value)
+                    else:
+                        return None  # computed key: bail out
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "dict"
+            ):
+                for kw in value.keywords:
+                    if kw.arg is None:
+                        return None
+                    keys.add(kw.arg)
+            else:
+                return None
+        return keys if saw_return else None
+
+    def _mutated_attrs(
+        self, methods: Dict[str, ast.FunctionDef]
+    ) -> Dict[str, List[Tuple[int, str]]]:
+        """``self.X`` mutation sites outside the excluded methods."""
+        out: Dict[str, List[Tuple[int, str]]] = {}
+
+        def record(target: ast.expr, line: int, method: str) -> None:
+            # Unwrap subscript mutations: self.x[i] = ... mutates self.x.
+            while isinstance(target, ast.Subscript):
+                target = target.value
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                out.setdefault(target.attr, []).append((line, method))
+
+        for name, fn in methods.items():
+            if name in self._EXCLUDED_METHODS:
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        record(target, node.lineno, name)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    record(node.target, node.lineno, name)
+        for sites in out.values():
+            sites.sort()
+        return out
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class BackwardPair(Rule):
+    """Forward kernels must declare their adjoint and gradcheck test.
+
+    Module-level functions named ``*_forward*`` under ``core/`` or
+    ``sta/`` must carry the ``@differentiable(backward=..., gradcheck=
+    ...)`` decorator (:mod:`repro.contracts`); the declared backward
+    function must exist in the source tree and the gradcheck pytest node
+    id must resolve.  Forward kernels that genuinely have no adjoint
+    (e.g. exact hard-max siblings) are suppressed inline with a reason.
+    """
+
+    id = "backward-pair"
+    description = (
+        "forward kernels in core//sta/ must declare backward + gradcheck"
+    )
+
+    _KERNEL_DIRS = ("src/repro/core/", "src/repro/sta/")
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        in_kernel_dir = ctx.relpath.startswith(self._KERNEL_DIRS)
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            contract = self._differentiable_contract(node)
+            if contract is None:
+                if in_kernel_dir and "forward" in node.name.split("_"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"forward kernel {node.name}() lacks the "
+                        "@differentiable(backward=..., gradcheck=...) "
+                        "contract decorator (repro.contracts)",
+                    )
+                continue
+            backward, gradcheck, deco = contract
+            if backward is None or gradcheck is None:
+                yield self.finding(
+                    ctx,
+                    deco,
+                    f"@differentiable on {node.name}() must pass both "
+                    "backward= and gradcheck= as string literals",
+                )
+                continue
+            if not index.has_function(backward):
+                yield self.finding(
+                    ctx,
+                    deco,
+                    f"{node.name}() declares backward {backward!r}, which "
+                    "does not exist in the source tree",
+                )
+            if not index.has_test(gradcheck):
+                yield self.finding(
+                    ctx,
+                    deco,
+                    f"{node.name}() declares gradcheck {gradcheck!r}, which "
+                    "does not resolve to a test in the suite",
+                )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _differentiable_contract(node):
+        """(backward, gradcheck, decorator-node) if decorated, else None."""
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name != "differentiable":
+                continue
+            backward = gradcheck = None
+            if isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    value = kw.value
+                    if not (
+                        isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                    ):
+                        # Implicitly concatenated string literals parse as
+                        # a single Constant; anything else is unresolvable.
+                        continue
+                    if kw.arg == "backward":
+                        backward = value.value
+                    elif kw.arg == "gradcheck":
+                        gradcheck = value.value
+            return backward, gradcheck, deco
+        return None

@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import differentiable
 from ..sta.nldm import LutBank
+from .scatter import scatter_accumulate, scatter_accumulate_at
 from .smoothing import segment_lse_max
 
 __all__ = [
@@ -39,6 +41,11 @@ _SENTINEL = -1e30
 SLEW_CLIP_MAX = 1e6
 
 
+@differentiable(
+    backward="repro.core.cell_prop.cell_backward_level",
+    gradcheck="tests/test_difftimer.py::TestBackwardFiniteDifference"
+    "::test_gradient_matches_fd",
+)
 def cell_forward_level(
     sl: slice,
     src: np.ndarray,
@@ -135,22 +142,23 @@ def cell_backward_level(
     g_cand_slew = w_slew * g_slew[d, to]
 
     # AT(u) receives the merge weight directly (Eq. 12a).
-    np.add.at(g_at, (s, ti), g_cand_at)
+    scatter_accumulate_at(g_at, s, ti, g_cand_at)
     # Slew(u) via both LUT x-derivatives (Eq. 12d).
-    np.add.at(
+    scatter_accumulate_at(
         g_slew,
-        (s, ti),
+        s,
+        ti,
         g_cand_at * tape_dd_dslew[sl] + g_cand_slew * tape_ds_dslew[sl],
     )
     # Load(v) via both LUT y-derivatives (Eq. 12e).
-    np.add.at(
+    scatter_accumulate(
         g_load,
         d,
         g_cand_at * tape_dd_dload[sl] + g_cand_slew * tape_ds_dload[sl],
     )
 
 
-def cell_forward_exact(
+def cell_forward_exact(  # reprolint: allow[backward-pair] exact hard-max sibling shared with the incremental engine; no gradient flows through it
     idx: np.ndarray,
     src: np.ndarray,
     dst: np.ndarray,

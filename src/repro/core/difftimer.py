@@ -42,6 +42,7 @@ from ..sta.graph import TimingGraph
 from .cell_prop import SLEW_CLIP_MAX, cell_backward_level, cell_forward_level
 from .elmore_grad import elmore_backward
 from .net_prop import net_backward_level, net_forward_level
+from .scatter import scatter_accumulate_at, scatter_add
 from .smoothing import lse_min, soft_clamp_neg, soft_clamp_neg_grad
 
 __all__ = ["DifferentiableTimer", "TimerTape"]
@@ -292,14 +293,15 @@ class DifferentiableTimer:
         # slack = rat - at;  for setup endpoints rat = T - setup(slew_D).
         ep = graph.endpoint_pins
         if len(ep):
-            np.add.at(
-                g_at, (ep[:, None], np.array([[RISE, FALL]])), -g_slack_t
+            scatter_accumulate_at(
+                g_at, ep[:, None], np.array([[RISE, FALL]]), -g_slack_t
             )
         n_setup = len(graph.setup_d)
         if n_setup:
-            np.add.at(
+            scatter_accumulate_at(
                 g_slew,
-                (graph.setup_d[:, None], np.array([[RISE, FALL]])),
+                graph.setup_d[:, None],
+                np.array([[RISE, FALL]]),
                 -g_slack_t[:n_setup] * tape.setup_dsetup_dslew,
             )
 
@@ -359,10 +361,8 @@ class DifferentiableTimer:
             g_px, g_py = forest.scatter_coord_grad(g_nx, g_ny)
 
         # Pins move rigidly with their cells.
-        g_cx = np.zeros(design.n_cells)
-        g_cy = np.zeros(design.n_cells)
-        np.add.at(g_cx, design.pin2cell, g_px)
-        np.add.at(g_cy, design.pin2cell, g_py)
+        g_cx = scatter_add(design.pin2cell, g_px, design.n_cells)
+        g_cy = scatter_add(design.pin2cell, g_py, design.n_cells)
         g_cx[design.cell_fixed] = 0.0
         g_cy[design.cell_fixed] = 0.0
         return g_cx, g_cy

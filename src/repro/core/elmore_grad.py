@@ -37,6 +37,7 @@ import numpy as np
 from ..netlist.library import WireModel
 from ..route.tree import Forest
 from ..sta.elmore import ElmoreResult
+from .scatter import scatter_accumulate, scatter_add
 
 __all__ = ["elmore_backward"]
 
@@ -87,7 +88,7 @@ def elmore_backward(
     for level in reversed(levels[1:]):
         g_ldelay[level] += elm.edge_res[level] * g_beta[level]
         g_res[level] += elm.ldelay[level] * g_beta[level]
-        np.add.at(g_beta, parent[level], g_beta[level])
+        scatter_accumulate(g_beta, parent[level], g_beta[level])
 
     # Reverse of pass 3 (LDelay bottom-up) -> top-down sweep; apply the
     # local adjoints once each node's accumulated g_ldelay is final.
@@ -103,7 +104,7 @@ def elmore_backward(
     for level in reversed(levels[1:]):
         g_res[level] += elm.load[level] * g_delay[level]
         g_load[level] += elm.edge_res[level] * g_delay[level]
-        np.add.at(g_delay, parent[level], g_delay[level])
+        scatter_accumulate(g_delay, parent[level], g_delay[level])
 
     # Reverse of pass 1 (Load bottom-up) -> top-down sweep.
     g_cap[roots] += g_load[roots]
@@ -118,15 +119,14 @@ def elmore_backward(
     g_len[hp] += 0.5 * wire.cap_per_um * (g_cap[hp] + g_cap[parent[hp]])
 
     # Rectilinear length -> coordinates (sign subgradient at zero).
-    g_x = np.zeros(forest.n_nodes)
-    g_y = np.zeros(forest.n_nodes)
     p = parent[hp]
     sx = np.sign(elm.node_x[hp] - elm.node_x[p])
     sy = np.sign(elm.node_y[hp] - elm.node_y[p])
     contrib_x = sx * g_len[hp]
     contrib_y = sy * g_len[hp]
-    np.add.at(g_x, np.nonzero(hp)[0], contrib_x)
-    np.add.at(g_y, np.nonzero(hp)[0], contrib_y)
-    np.add.at(g_x, p, -contrib_x)
-    np.add.at(g_y, p, -contrib_y)
+    child = np.nonzero(hp)[0]
+    g_x = scatter_add(child, contrib_x, forest.n_nodes)
+    g_y = scatter_add(child, contrib_y, forest.n_nodes)
+    scatter_accumulate(g_x, p, -contrib_x)
+    scatter_accumulate(g_y, p, -contrib_y)
     return g_x, g_y

@@ -17,9 +17,17 @@ from typing import Tuple
 
 import numpy as np
 
+from ..contracts import differentiable
+from .scatter import scatter_accumulate_rows
+
 __all__ = ["net_forward_level", "net_backward_level"]
 
 
+@differentiable(
+    backward="repro.core.net_prop.net_backward_level",
+    gradcheck="tests/test_difftimer.py::TestBackwardFiniteDifference"
+    "::test_gradient_matches_fd",
+)
 def net_forward_level(
     sinks: np.ndarray,
     srcs: np.ndarray,
@@ -53,12 +61,12 @@ def net_backward_level(
     final (higher levels processed first).
     """
     g_at_sink = g_at[sinks]  # (k, 2)
-    np.add.at(g_at, srcs, g_at_sink)
+    scatter_accumulate_rows(g_at, srcs, g_at_sink)
     g_net_delay[sinks] += g_at_sink.sum(axis=1)
 
     slew_sink = slew[sinks]
     slew_src = slew[srcs]
     safe = np.maximum(slew_sink, 1e-12)
     g_slew_sink = g_slew[sinks]
-    np.add.at(g_slew, srcs, (slew_src / safe) * g_slew_sink)
+    scatter_accumulate_rows(g_slew, srcs, (slew_src / safe) * g_slew_sink)
     g_impulse2[sinks] += (g_slew_sink / (2.0 * safe)).sum(axis=1)

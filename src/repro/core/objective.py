@@ -136,12 +136,14 @@ class TimingObjective:
             self._dirty_rebuild(cell_x, cell_y, iteration)
         else:
             self.n_rsmt_reuses += 1
+            # reprolint: allow[checkpoint-completeness] per-call transient flag, overwritten by every forest_for() call
             self._last_forest_reused = True
         self._iters_since_rsmt += 1
         return self._forest
 
     def _routable_net_ids(self) -> np.ndarray:
         if self._routable_ids is None:
+            # reprolint: allow[checkpoint-completeness] derived cache, lazily recomputed from the immutable design after resume
             self._routable_ids = np.array(
                 _routable_nets(
                     self.design, range(self.design.n_nets), False
@@ -154,9 +156,12 @@ class TimingObjective:
         self, cell_x: np.ndarray, cell_y: np.ndarray, iteration: int
     ) -> None:
         px, py = self.design.pin_positions(cell_x, cell_y)
+        # reprolint: allow[checkpoint-completeness] rebuilt by set_state from the stored built_pin_coords
         self._forest = build_forest_from_pins(self.design, px, py)
         self._forest_coords = (cell_x.copy(), cell_y.copy())
+        # reprolint: allow[checkpoint-completeness] persisted jointly as the built_pin_coords state entry
         self._built_px = px
+        # reprolint: allow[checkpoint-completeness] persisted jointly as the built_pin_coords state entry
         self._built_py = py
         self._iters_since_rsmt = 0
         self.n_rsmt_calls += 1

@@ -17,6 +17,9 @@ from typing import Tuple
 
 import numpy as np
 
+from ..contracts import differentiable
+from .scatter import scatter_add
+
 __all__ = [
     "lse_max",
     "lse_min",
@@ -30,6 +33,10 @@ __all__ = [
 _SENTINEL = -1e30
 
 
+@differentiable(
+    backward="repro.core.smoothing.lse_max_grad",
+    gradcheck="tests/test_smoothing.py::TestLseGrad::test_matches_finite_difference",
+)
 def lse_max(values: np.ndarray, gamma: float, axis=None):
     """Smoothed maximum ``gamma * log(sum(exp(x / gamma)))`` (shifted)."""
     values = np.asarray(values, dtype=np.float64)
@@ -54,6 +61,10 @@ def lse_max_grad(values: np.ndarray, gamma: float, axis=None) -> np.ndarray:
     return e / np.sum(e, axis=axis, keepdims=True)
 
 
+@differentiable(
+    backward="repro.core.smoothing.soft_clamp_neg_grad",
+    gradcheck="tests/test_smoothing.py::TestSoftClampNeg::test_grad_matches_fd",
+)
 def soft_clamp_neg(slack: np.ndarray, gamma: float) -> np.ndarray:
     """Smoothed ``min(0, slack)`` = ``-gamma * softplus(-slack / gamma)``.
 
@@ -96,8 +107,7 @@ def segment_lse_max(
     shifted = np.exp(
         np.maximum((candidates - m[segment_ids]) / gamma, -700.0)
     )
-    s = np.zeros(n_segments)
-    np.add.at(s, segment_ids, shifted)
+    s = scatter_add(segment_ids, shifted, n_segments)
     out = np.full(n_segments, empty_value)
     nonempty = s > 0
     out[nonempty] = m[nonempty] + gamma * np.log(s[nonempty])

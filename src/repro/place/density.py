@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy.fft import dctn, idctn
 
+from ..core.scatter import scatter_accumulate_at, scatter_add_2d
 from ..netlist.design import Design
 
 __all__ = ["DensityModel", "DensityResult"]
@@ -84,11 +85,10 @@ class DensityModel:
         fy = gy - iy
         mass = self.area[self.movable]
 
-        rho = np.zeros((nb, nb))
-        np.add.at(rho, (ix, iy), mass * (1 - fx) * (1 - fy))
-        np.add.at(rho, (ix + 1, iy), mass * fx * (1 - fy))
-        np.add.at(rho, (ix, iy + 1), mass * (1 - fx) * fy)
-        np.add.at(rho, (ix + 1, iy + 1), mass * fx * fy)
+        rho = scatter_add_2d(ix, iy, mass * (1 - fx) * (1 - fy), (nb, nb))
+        scatter_accumulate_at(rho, ix + 1, iy, mass * fx * (1 - fy))
+        scatter_accumulate_at(rho, ix, iy + 1, mass * (1 - fx) * fy)
+        scatter_accumulate_at(rho, ix + 1, iy + 1, mass * fx * fy)
         return rho, (ix, iy, fx, fy, mass)
 
     def _solve_poisson(self, rho: np.ndarray) -> np.ndarray:

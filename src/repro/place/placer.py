@@ -451,6 +451,7 @@ class GlobalPlacer:
                 if guard is not None:
                     guard.scrub("combined", iteration, grad)
                 else:
+                    # reprolint: allow[no-silent-nanfix] legacy guard=False path; guarded runs scrub through NumericalGuard above
                     np.nan_to_num(grad, copy=False)
 
                 if guard is not None and not healthy:

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..core.scatter import scatter_add
 from ..netlist.design import Design
 
 __all__ = ["hpwl", "WAWirelength"]
@@ -117,8 +118,6 @@ class WAWirelength:
         y = py[self.order]
         wl_x, gx = self._axis(x, gamma, weights)
         wl_y, gy = self._axis(y, gamma, weights)
-        grad_x = np.zeros(design.n_cells)
-        grad_y = np.zeros(design.n_cells)
-        np.add.at(grad_x, self.pin_cells, gx)
-        np.add.at(grad_y, self.pin_cells, gy)
+        grad_x = scatter_add(self.pin_cells, gx, design.n_cells)
+        grad_y = scatter_add(self.pin_cells, gy, design.n_cells)
         return wl_x + wl_y, grad_x, grad_y

@@ -20,6 +20,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..core.scatter import scatter_add
+
 __all__ = ["RoutingTree", "Forest"]
 
 
@@ -261,10 +263,8 @@ class Forest:
         Steiner-node gradients go to the owning pins (Figure 4); pin-node
         gradients go to the pins themselves.
         """
-        grad_pin_x = np.zeros(self.n_pins_total)
-        grad_pin_y = np.zeros(self.n_pins_total)
-        np.add.at(grad_pin_x, self.owner_x_pin, grad_node_x)
-        np.add.at(grad_pin_y, self.owner_y_pin, grad_node_y)
+        grad_pin_x = scatter_add(self.owner_x_pin, grad_node_x, self.n_pins_total)
+        grad_pin_y = scatter_add(self.owner_y_pin, grad_node_y, self.n_pins_total)
         return grad_pin_x, grad_pin_y
 
     def edge_lengths(self, node_x: np.ndarray, node_y: np.ndarray) -> np.ndarray:

@@ -135,6 +135,7 @@ class FaultInjector:
         """Placer hook: marks the current iteration; lifts transient faults
         (a corrupted LUT bank is restored here, one iteration after it was
         corrupted)."""
+        # reprolint: allow[checkpoint-completeness] transient marker, re-set by the placer hook on the first resumed iteration
         self._iteration = iteration
         if self._lut_backup is not None:
             self.restore()
@@ -175,6 +176,7 @@ class FaultInjector:
         if not self._due("lut_corrupt") or not len(bank.values):
             return False
         rng = np.random.default_rng(self.spec.seed)
+        # reprolint: allow[checkpoint-completeness] holds a live LutBank reference restored within one iteration; never outlives the process
         self._lut_backup = (bank, bank.values.copy())
         flat = bank.values.reshape(-1)
         idx = rng.choice(len(flat), size=max(1, len(flat) // 8), replace=False)

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..contracts import differentiable
 from ..netlist.library import WireModel
 from ..route.tree import Forest
 
@@ -96,6 +97,11 @@ def node_caps(
     return caps
 
 
+@differentiable(
+    backward="repro.core.elmore_grad.elmore_backward",
+    gradcheck="tests/test_elmore_grad.py::TestElmoreBackward"
+    "::test_matches_finite_differences",
+)
 def elmore_forward(
     forest: Forest,
     node_x: np.ndarray,

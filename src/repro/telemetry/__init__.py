@@ -23,8 +23,10 @@ from .events import (
     MetricsRecorder,
     current_recorder,
     iteration_series,
+    kind_error_message,
     read_events,
     recording,
+    suggest_kind,
 )
 from .manifest import (
     MANIFEST_FILENAME,
@@ -43,8 +45,10 @@ __all__ = [
     "MetricsRecorder",
     "current_recorder",
     "iteration_series",
+    "kind_error_message",
     "read_events",
     "recording",
+    "suggest_kind",
     "MANIFEST_FILENAME",
     "RunManifest",
     "git_revision",

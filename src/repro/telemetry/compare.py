@@ -111,6 +111,35 @@ def compare_runs(
             result.notes.append(f"options.{key}: {va!r} != {vb!r}")
 
     # ------------------------------------------------------------------
+    # reprolint provenance: dirty trees and rule-set drift are flagged
+    # but never gate (two identical-seed runs must still compare OK).
+    # ------------------------------------------------------------------
+    for label, manifest in (("a", ma), ("b", mb)):
+        analysis = manifest.analysis or {}
+        if analysis.get("error"):
+            result.notes.append(
+                f"run {label} ({manifest.run_id}): reprolint provenance "
+                f"unavailable ({analysis['error']})"
+            )
+        elif analysis.get("clean") is False:
+            result.notes.append(
+                f"run {label} ({manifest.run_id}) was produced from a dirty "
+                f"tree: {analysis.get('new_finding_count', '?')} "
+                "non-baselined reprolint finding(s)"
+            )
+    aa, ab = ma.analysis or {}, mb.analysis or {}
+    if aa and ab:
+        for key, what in (
+            ("rules_version", "reprolint rule set"),
+            ("baseline_hash", "reprolint baseline"),
+        ):
+            if aa.get(key) != ab.get(key):
+                result.notes.append(
+                    f"{what} differs between runs: "
+                    f"{aa.get(key)!r} != {ab.get(key)!r}"
+                )
+
+    # ------------------------------------------------------------------
     # Final metrics: the regression gate.
     # ------------------------------------------------------------------
     fa, fb = ma.final_metrics, mb.final_metrics

@@ -53,6 +53,7 @@ recorder is armed every telemetry call site is a cheap ``None`` check.
 
 from __future__ import annotations
 
+import difflib
 import json
 import os
 import threading
@@ -64,6 +65,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "EVENT_KINDS",
     "EVENTS_FILENAME",
+    "suggest_kind",
+    "kind_error_message",
     "MetricsRecorder",
     "current_recorder",
     "recording",
@@ -90,6 +93,26 @@ EVENT_KINDS = (
     "run_end",
     "note",
 )
+
+
+def suggest_kind(kind: str) -> Optional[str]:
+    """Closest valid event kind to ``kind``, or None if nothing is close."""
+    matches = difflib.get_close_matches(kind, EVENT_KINDS, n=1, cutoff=0.6)
+    return matches[0] if matches else None
+
+
+def kind_error_message(kind: str) -> str:
+    """Diagnostic for an unknown event kind, with a nearest-match hint.
+
+    Shared by :meth:`MetricsRecorder.event` and the
+    ``telemetry-kind-literal`` rule of ``repro.analysis`` so the runtime
+    error and the lint finding read identically.
+    """
+    message = f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}"
+    suggestion = suggest_kind(kind)
+    if suggestion is not None:
+        message += f" (did you mean {suggestion!r}?)"
+    return message
 
 
 def _json_default(value: Any):
@@ -129,9 +152,7 @@ class MetricsRecorder:
     ) -> Dict[str, Any]:
         """Append one event; returns the emitted dict."""
         if kind not in EVENT_KINDS:
-            raise ValueError(
-                f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}"
-            )
+            raise ValueError(kind_error_message(kind))
         record: Dict[str, Any] = {
             "ts": time.time(),
             "kind": kind,

@@ -94,6 +94,10 @@ class RunManifest:
     final_metrics: Dict[str, Any] = field(default_factory=dict)
     #: Profiler span tree snapshot (``repro.perf.Timer.tree`` shape).
     span_tree: Optional[Dict[str, Any]] = None
+    #: reprolint provenance: rules_version, finding counts, baseline
+    #: hash, and the ``clean`` verdict of the producing tree (see
+    #: :func:`repro.analysis.provenance.analysis_provenance`).
+    analysis: Optional[Dict[str, Any]] = None
 
     @classmethod
     def create(
@@ -105,6 +109,12 @@ class RunManifest:
         run_id: Optional[str] = None,
     ) -> "RunManifest":
         """Manifest for a run starting now, environment auto-collected."""
+        try:
+            from ..analysis.provenance import analysis_provenance
+
+            analysis = analysis_provenance()
+        except Exception:  # pragma: no cover - provenance must never gate a run
+            analysis = None
         return cls(
             run_id=run_id if run_id else make_run_id(design, mode),
             design=design,
@@ -116,6 +126,7 @@ class RunManifest:
             python_version=sys.version.split()[0],
             numpy_version=_numpy_version(),
             platform=platform.platform(),
+            analysis=analysis,
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -1,0 +1,551 @@
+"""reprolint framework + rules: fixtures, suppressions, baseline, CLI.
+
+Each rule gets a good and a bad fixture inside a synthetic mini-repo
+under ``tmp_path``; the framework tests cover inline suppressions (both
+placements, plus the meta findings for malformed/unused ones), baseline
+round-trips including the tamper check, CLI exit codes, and the
+telemetry provenance hooks.  Finally the real repository itself must
+lint clean - the self-check CI relies on.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineIntegrityError,
+    RULES_VERSION,
+    run_analysis,
+)
+from repro.analysis.baseline import BASELINE_FILENAME
+from repro.analysis.cli import main as cli_main
+from repro.analysis.provenance import analysis_provenance
+from repro.telemetry.compare import compare_runs
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    MetricsRecorder,
+    kind_error_message,
+    suggest_kind,
+)
+from repro.telemetry.manifest import RunManifest, write_manifest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_EVENTS_FIXTURE = 'EVENT_KINDS = ("alpha", "beta", "gamma_ray")\n'
+
+
+def make_repo(tmp_path, files):
+    """Materialise a synthetic repo; returns its root as str."""
+    defaults = {"src/repro/telemetry/events.py": _EVENTS_FIXTURE}
+    defaults.update(files)
+    for rel, content in defaults.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    return str(tmp_path)
+
+
+def findings_of(report, rule):
+    return [f for f in report.new_findings if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+class TestNoScatterAddAt:
+    def test_flags_add_at_and_subtract_at(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "import numpy as np\n"
+                    "def f(out, idx, v):\n"
+                    "    np.add.at(out, idx, v)\n"
+                    "    np.subtract.at(out, idx, v)\n"
+                )
+            },
+        )
+        found = findings_of(run_analysis(root), "no-scatter-add-at")
+        assert len(found) == 2
+        assert "repro.core.scatter" in found[0].message
+
+    def test_good_paths_clean(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "import numpy as np\n"
+                    "from repro.core.scatter import scatter_add\n"
+                    "def f(out, idx, v):\n"
+                    "    np.maximum.at(out, idx, v)\n"  # order-independent: fine
+                    "    return scatter_add(idx, v, 8)\n"
+                ),
+                "tests/test_mod.py": (
+                    "import numpy as np\n"
+                    "def test_ref(out, idx, v):\n"
+                    "    np.add.at(out, idx, v)\n"  # reference impl: exempt
+                ),
+            },
+        )
+        report = run_analysis(root)
+        assert findings_of(report, "no-scatter-add-at") == []
+
+
+class TestNoSilentNanFix:
+    def test_flags_nan_to_num_and_errstate(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "import numpy as np\n"
+                    "def f(g):\n"
+                    "    np.nan_to_num(g, copy=False)\n"
+                    '    with np.errstate(invalid="ignore"):\n'
+                    "        return g > 0\n"
+                )
+            },
+        )
+        assert len(findings_of(run_analysis(root), "no-silent-nanfix")) == 2
+
+    def test_guard_module_and_benign_errstate_exempt(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/runtime/guard.py": (
+                    "import numpy as np\n"
+                    "def scrub(g):\n"
+                    "    np.nan_to_num(g, copy=False)\n"
+                ),
+                "src/repro/mod.py": (
+                    "import numpy as np\n"
+                    "def f(g):\n"
+                    '    with np.errstate(over="ignore"):\n'
+                    "        return g * 2\n"
+                ),
+            },
+        )
+        assert findings_of(run_analysis(root), "no-silent-nanfix") == []
+
+
+class TestSeededRng:
+    def test_flags_global_state_and_unseeded_rng(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "import numpy as np\n"
+                    "def f():\n"
+                    "    np.random.seed(0)\n"
+                    "    a = np.random.normal(size=3)\n"
+                    "    rng = np.random.default_rng()\n"
+                    "    return a, rng\n"
+                )
+            },
+        )
+        found = findings_of(run_analysis(root), "seeded-rng")
+        assert len(found) == 3
+
+    def test_seeded_generator_clean(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "import numpy as np\n"
+                    "def f(seed):\n"
+                    "    rng = np.random.default_rng(seed)\n"
+                    "    return rng.normal(size=3)\n"
+                )
+            },
+        )
+        assert findings_of(run_analysis(root), "seeded-rng") == []
+
+
+class TestTelemetryKindLiteral:
+    def test_flags_unknown_kind_with_suggestion(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "def f(rec):\n"
+                    '    rec.event("alpa", value=1)\n'
+                )
+            },
+        )
+        found = findings_of(run_analysis(root), "telemetry-kind-literal")
+        assert len(found) == 1
+        assert "unknown event kind 'alpa'" in found[0].message
+        assert "did you mean 'alpha'" in found[0].message
+
+    def test_known_kind_and_dynamic_kind_clean(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "def f(rec, kind):\n"
+                    '    rec.event("beta", value=1)\n'
+                    '    rec.event(kind="gamma_ray")\n'
+                    "    rec.event(kind)\n"
+                )
+            },
+        )
+        assert findings_of(run_analysis(root), "telemetry-kind-literal") == []
+
+    def test_message_matches_runtime_error(self, tmp_path):
+        """The lint diagnostic and MetricsRecorder.event agree verbatim
+        when the vocabulary is the real EVENT_KINDS."""
+        kinds_src = f"EVENT_KINDS = {EVENT_KINDS!r}\n"
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/telemetry/events.py": kinds_src,
+                "src/repro/mod.py": 'def f(rec):\n    rec.event("iterat1on")\n',
+            },
+        )
+        found = findings_of(run_analysis(root), "telemetry-kind-literal")
+        assert len(found) == 1
+        assert found[0].message == kind_error_message("iterat1on")
+
+
+class TestCheckpointCompleteness:
+    _PROVIDER = (
+        "class Thing:\n"
+        "    def __init__(self):\n"
+        "        self._count = 0\n"
+        "        self.extra = None\n"
+        "    def step(self):\n"
+        "        self._count += 1\n"
+        "        self.extra = object()\n"
+        "        self.table[0] = 1\n"
+        "    def get_state(self):\n"
+        '        return {{"count": self._count{keys}}}\n'
+        "    def set_state(self, state):\n"
+        '        self._count = state["count"]\n'
+    )
+
+    def test_flags_missing_attrs_including_subscript(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {"src/repro/mod.py": self._PROVIDER.format(keys="")},
+        )
+        found = findings_of(run_analysis(root), "checkpoint-completeness")
+        assert {f.message.split()[0] for f in found} == {
+            "Thing.extra",
+            "Thing.table",
+        }
+
+    def test_underscore_stripped_keys_match(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": self._PROVIDER.format(
+                    keys=', "extra": 1, "table": 2'
+                )
+            },
+        )
+        assert findings_of(run_analysis(root), "checkpoint-completeness") == []
+
+    def test_suppression_on_any_mutation_line(self, tmp_path):
+        src = self._PROVIDER.format(keys=', "table": 2').replace(
+            "self.extra = object()",
+            "self.extra = object()  # reprolint: allow[checkpoint-completeness] derived cache",
+        )
+        root = make_repo(tmp_path, {"src/repro/mod.py": src})
+        report = run_analysis(root)
+        assert findings_of(report, "checkpoint-completeness") == []
+        assert findings_of(report, "unused-suppression") == []
+
+    def test_non_provider_classes_ignored(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "class Plain:\n"
+                    "    def step(self):\n"
+                    "        self.anything = 1\n"
+                )
+            },
+        )
+        assert findings_of(run_analysis(root), "checkpoint-completeness") == []
+
+
+class TestBackwardPair:
+    _TEST_FILE = "def test_foo_grad():\n    assert True\n"
+
+    def _kernel(self, backward="repro.core.kern.foo_backward",
+                gradcheck="tests/test_kern.py::test_foo_grad"):
+        return (
+            "from repro.contracts import differentiable\n"
+            f'@differentiable(backward="{backward}", gradcheck="{gradcheck}")\n'
+            "def foo_forward_level(x):\n"
+            "    return x\n"
+            "def foo_backward(x):\n"
+            "    return x\n"
+        )
+
+    def test_contracted_kernel_clean(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/core/kern.py": self._kernel(),
+                "tests/test_kern.py": self._TEST_FILE,
+            },
+        )
+        assert findings_of(run_analysis(root), "backward-pair") == []
+
+    def test_undecorated_forward_kernel_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {"src/repro/core/kern.py": "def foo_forward(x):\n    return x\n"},
+        )
+        found = findings_of(run_analysis(root), "backward-pair")
+        assert len(found) == 1 and "foo_forward" in found[0].message
+
+    def test_forward_outside_kernel_dirs_not_required(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {"src/repro/place/mod.py": "def push_forward(x):\n    return x\n"},
+        )
+        assert findings_of(run_analysis(root), "backward-pair") == []
+
+    def test_dangling_backward_and_gradcheck_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/core/kern.py": self._kernel(
+                    backward="repro.core.kern.missing_backward",
+                    gradcheck="tests/test_kern.py::test_missing",
+                ),
+                "tests/test_kern.py": self._TEST_FILE,
+            },
+        )
+        found = findings_of(run_analysis(root), "backward-pair")
+        assert len(found) == 2
+        messages = " ".join(f.message for f in found)
+        assert "missing_backward" in messages and "test_missing" in messages
+
+
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    _BAD = "import numpy as np\ndef f(o, i, v):\n    np.add.at(o, i, v)\n"
+
+    def test_same_line_suppression(self, tmp_path):
+        src = self._BAD.replace(
+            "np.add.at(o, i, v)",
+            "np.add.at(o, i, v)  # reprolint: allow[no-scatter-add-at] proven hot-path exception",
+        )
+        root = make_repo(tmp_path, {"src/repro/mod.py": src})
+        report = run_analysis(root)
+        assert report.new_findings == []
+        assert report.suppressed_count == 1
+
+    def test_previous_line_suppression(self, tmp_path):
+        src = self._BAD.replace(
+            "    np.add.at(o, i, v)",
+            "    # reprolint: allow[no-scatter-add-at] proven hot-path exception\n"
+            "    np.add.at(o, i, v)",
+        )
+        root = make_repo(tmp_path, {"src/repro/mod.py": src})
+        assert run_analysis(root).new_findings == []
+
+    def test_reasonless_suppression_rejected(self, tmp_path):
+        src = self._BAD.replace(
+            "np.add.at(o, i, v)",
+            "np.add.at(o, i, v)  # reprolint: allow[no-scatter-add-at]",
+        )
+        root = make_repo(tmp_path, {"src/repro/mod.py": src})
+        report = run_analysis(root)
+        rules = {f.rule for f in report.new_findings}
+        assert rules == {"no-scatter-add-at", "bad-suppression"}
+
+    def test_unknown_rule_and_unused_suppressions_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "x = 1  # reprolint: allow[no-such-rule] whatever\n"
+                    "y = 2  # reprolint: allow[seeded-rng] nothing to suppress\n"
+                )
+            },
+        )
+        rules = sorted(f.rule for f in run_analysis(root).new_findings)
+        assert rules == ["bad-suppression", "unused-suppression"]
+
+    def test_marker_in_docstring_ignored(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    '"""Mentions reprolint: allow[no-scatter-add-at] in prose."""\n'
+                    "x = 1\n"
+                )
+            },
+        )
+        report = run_analysis(root)
+        assert report.new_findings == []
+        assert report.suppressed_count == 0
+
+
+# ----------------------------------------------------------------------
+class TestBaseline:
+    _BAD = "import numpy as np\ndef f(o, i, v):\n    np.add.at(o, i, v)\n"
+
+    def test_grandfathers_old_but_catches_new(self, tmp_path):
+        root = make_repo(tmp_path, {"src/repro/mod.py": self._BAD})
+        baseline_path = os.path.join(root, BASELINE_FILENAME)
+        assert cli_main(["--root", root, "--write-baseline"]) == 0
+
+        report = run_analysis(root, baseline_path=baseline_path)
+        assert report.new_findings == []
+        assert len(report.baselined_findings) == 1
+
+        # A second, new occurrence is NOT covered by the baseline.
+        (tmp_path / "src/repro/mod.py").write_text(
+            self._BAD + "def g(o, i, v):\n    np.subtract.at(o, i, v)\n"
+        )
+        report = run_analysis(root, baseline_path=baseline_path)
+        assert len(report.new_findings) == 1
+        assert len(report.baselined_findings) == 1
+
+    def test_hand_edited_baseline_fails_integrity(self, tmp_path):
+        root = make_repo(tmp_path, {"src/repro/mod.py": self._BAD})
+        baseline_path = os.path.join(root, BASELINE_FILENAME)
+        cli_main(["--root", root, "--write-baseline"])
+        data = json.loads((tmp_path / BASELINE_FILENAME).read_text())
+        data["entries"] = []  # shrink without regenerating
+        (tmp_path / BASELINE_FILENAME).write_text(json.dumps(data))
+        with pytest.raises(BaselineIntegrityError):
+            run_analysis(root, baseline_path=baseline_path)
+        assert cli_main(["--root", root]) == 2
+
+    def test_roundtrip_preserves_entries(self, tmp_path):
+        baseline = Baseline.from_findings([], RULES_VERSION)
+        path = str(tmp_path / "b.json")
+        baseline.write(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == []
+        assert loaded.rules_version == RULES_VERSION
+        assert loaded.integrity_hash == baseline.integrity_hash
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        loaded = Baseline.load(str(tmp_path / "nope.json"))
+        assert loaded.entries == [] and loaded.integrity_hash is None
+
+
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_codes_and_json_report(self, tmp_path, capsys):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "import numpy as np\n"
+                    "def f(o, i, v):\n    np.add.at(o, i, v)\n"
+                )
+            },
+        )
+        json_path = str(tmp_path / "report.json")
+        assert cli_main(["--root", root, "--json", json_path]) == 1
+        payload = json.loads(open(json_path).read())
+        assert payload["clean"] is False
+        assert payload["new_findings"][0]["rule"] == "no-scatter-add-at"
+
+        (tmp_path / "src/repro/mod.py").write_text("x = 1\n")
+        assert cli_main(["--root", root]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "no-scatter-add-at",
+            "no-silent-nanfix",
+            "seeded-rng",
+            "telemetry-kind-literal",
+            "checkpoint-completeness",
+            "backward-pair",
+            "bad-suppression",
+            "unused-suppression",
+        ):
+            assert rule_id in out
+
+    def test_module_entrypoint_on_real_repo(self):
+        """``python -m repro.analysis`` exits 0 on this repository."""
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--root", REPO_ROOT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestRepoSelfCheck:
+    def test_repo_lints_clean_against_committed_baseline(self):
+        report = run_analysis(
+            REPO_ROOT,
+            baseline_path=os.path.join(REPO_ROOT, BASELINE_FILENAME),
+        )
+        assert report.new_findings == []
+
+    def test_committed_baseline_is_empty(self):
+        baseline = Baseline.load(os.path.join(REPO_ROOT, BASELINE_FILENAME))
+        assert baseline.entries == []
+        assert baseline.integrity_hash is not None
+
+
+# ----------------------------------------------------------------------
+class TestProvenanceAndTelemetry:
+    def test_provenance_shape(self):
+        prov = analysis_provenance(REPO_ROOT)
+        assert prov["rules_version"] == RULES_VERSION
+        assert prov["new_finding_count"] == 0
+        assert prov["clean"] is True
+        assert prov["baseline_hash"]
+
+    def test_provenance_never_raises(self, tmp_path):
+        prov = analysis_provenance(str(tmp_path))  # not a repo at all
+        assert isinstance(prov, dict)
+
+    def test_manifest_records_analysis(self):
+        manifest = RunManifest.create("d", "ours", seed=0)
+        assert manifest.analysis is not None
+        assert manifest.analysis["rules_version"] == RULES_VERSION
+        restored = RunManifest.from_dict(manifest.to_dict())
+        assert restored.analysis == manifest.analysis
+
+    def test_compare_flags_dirty_tree_without_gating(self, tmp_path):
+        base = dict(
+            design="d", mode="ours", seed=0,
+            final_metrics={"wns": -1.0, "tns": -5.0, "hpwl": 10.0,
+                           "overflow": 0.1, "iterations": 3,
+                           "stop_reason": "max_iters"},
+        )
+        clean = {"rules_version": RULES_VERSION, "new_finding_count": 0,
+                 "clean": True, "baseline_hash": "abc"}
+        dirty = {"rules_version": "0.9", "new_finding_count": 4,
+                 "clean": False, "baseline_hash": "xyz"}
+        ma = RunManifest(run_id="a", analysis=clean, **base)
+        mb = RunManifest(run_id="b", analysis=dirty, **base)
+        write_manifest(ma, str(tmp_path / "a"))
+        write_manifest(mb, str(tmp_path / "b"))
+        result = compare_runs(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert result.ok  # dirty tree must not gate
+        notes = " ".join(result.notes)
+        assert "dirty tree" in notes and "4 non-baselined" in notes
+        assert "rule set" in notes and "baseline" in notes
+
+    def test_event_kind_suggestion_helpers(self, tmp_path):
+        assert suggest_kind("iterations") == "iteration"
+        assert suggest_kind("zzzz") is None
+        message = kind_error_message("checkpont")
+        assert "did you mean 'checkpoint'" in message
+        rec = MetricsRecorder(str(tmp_path / "events.jsonl"))
+        with pytest.raises(ValueError, match="did you mean 'recovery'"):
+            rec.event("recovry")
+        rec.close()
