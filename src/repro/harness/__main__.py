@@ -132,7 +132,13 @@ def _cmd_suite(args) -> int:
         for mode in args.modes
         for seed in args.seeds
     ]
-    records = run_parallel(tasks, jobs=args.jobs, verbose=True)
+    records = run_parallel(
+        tasks,
+        jobs=args.jobs,
+        verbose=True,
+        use_cache=not args.no_design_cache,
+        cache_dir=args.cache_dir,
+    )
     if args.telemetry:
         path = write_suite_manifest(args.telemetry, tasks, records, args.jobs)
         print(f"suite manifest: {path}")
@@ -255,6 +261,19 @@ def _subcommand_parser() -> argparse.ArgumentParser:
         default=None,
         help="write deterministic final metrics JSON (no wall-clock "
         "fields; byte-identical across --jobs settings)",
+    )
+    suite_p.add_argument(
+        "--no-design-cache",
+        action="store_true",
+        help="regenerate designs per task instead of using the bundle "
+        "cache (legacy cold path; metrics are identical either way)",
+    )
+    suite_p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="design-bundle cache location (default "
+        "benchmarks/.design_cache, or $REPRO_DESIGN_CACHE)",
     )
     suite_p.add_argument("--rsmt-period", type=int, default=None, metavar="N")
     suite_p.add_argument(

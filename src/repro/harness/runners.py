@@ -61,6 +61,12 @@ class RunRecord:
     #: Hierarchical profiler span tree (parallel/profiled runs; merged
     #: across workers by the suite runner).
     span_tree: Optional[Dict[str, object]] = None
+    #: Seconds spent acquiring the design (generation or cache load)
+    #: before the solve.  Wall-clock: excluded from suite metrics.
+    setup_s: float = 0.0
+    #: Design-bundle cache provenance for this run (``CacheInfo`` dict;
+    #: ``None`` when the design was constructed without the cache).
+    design_cache: Optional[Dict[str, object]] = None
 
     def summary(self) -> str:
         return (
@@ -81,8 +87,17 @@ def run_mode(
     profile_dir: Optional[str] = None,
     telemetry_dir: Optional[str] = None,
     run_id: Optional[str] = None,
+    sta_graph=None,
+    design_cache: Optional[Dict[str, object]] = None,
 ) -> RunRecord:
     """Run one of the three Table 3 placers on a design.
+
+    ``sta_graph`` reuses a prebuilt levelized
+    :class:`~repro.sta.graph.TimingGraph` of ``design`` - the
+    timing-aware placers (``ours``, ``netweight``) and the final golden
+    STA all skip their per-run graph rebuild; results are bit-identical
+    to a fresh build.  ``design_cache`` is the cache-provenance dict
+    stamped into the run's telemetry manifest and record.
 
     ``with_trace_sta`` adds periodic golden-STA samples to the trace (for
     Figure 8 curves); it is excluded from the reported runtime, which is
@@ -126,6 +141,8 @@ def run_mode(
             run_id=run_id,
             resume=bool(popts.resume_from),
         )
+        if design_cache is not None:
+            session.manifest.design_cache = dict(design_cache)
 
     # The session enables the profiler itself (the manifest carries the
     # span tree); --profile without telemetry keeps the legacy behaviour.
@@ -148,7 +165,9 @@ def run_mode(
                     design, popts, extra_grad_fn=hook
                 ).run()
             elif mode == "netweight":
-                result = NetWeightingPlacer(design, popts, nw_options).run()
+                result = NetWeightingPlacer(
+                    design, popts, nw_options, graph=sta_graph
+                ).run()
             else:
                 tp_options = TimingPlacerOptions(
                     placer=popts,
@@ -157,7 +176,9 @@ def run_mode(
                     else TimingObjectiveOptions(),
                     sta_in_trace=with_trace_sta,
                 )
-                result = TimingDrivenPlacer(design, tp_options).run()
+                result = TimingDrivenPlacer(
+                    design, tp_options, graph=sta_graph
+                ).run()
             runtime = time.perf_counter() - start
     except BaseException:
         if session is not None:
@@ -176,7 +197,7 @@ def run_mode(
         if session is None:
             PROFILER.enabled = was_enabled
 
-    final = run_sta(design, result.x, result.y)
+    final = run_sta(design, result.x, result.y, graph=sta_graph)
     if session is not None:
         session.finalize(
             final_metrics={
@@ -205,6 +226,7 @@ def run_mode(
         nonfinite_events=result.nonfinite_events,
         recoveries=result.recoveries,
         run_dir=session.run_dir if session is not None else None,
+        design_cache=dict(design_cache) if design_cache is not None else None,
     )
 
 

@@ -1,4 +1,4 @@
-"""The miniblue benchmark suite (Table 2 substitute).
+"""The miniblue/midiblue benchmark suites (Table 2 substitute).
 
 Eight synthetic designs mirroring the *relative* sizes of the ICCAD 2015
 superblue benchmarks the paper evaluates on, scaled by ~1/800 so the whole
@@ -17,6 +17,20 @@ miniblue10  superblue10   2345           17
 miniblue16  superblue16   1227           13
 miniblue18  superblue18   960            12
 ==========  ============  =============  ======
+
+The **midiblue** tier sits between miniblue and the paper's 0.8-1.9M-cell
+superblue targets: 50k-500k-cell designs from the vectorized generator
+engine, big enough to stress the batched RSMT/levelisation/scatter
+kernels.  They are not part of the default Table 2/3 matrix (generate on
+demand; the design cache makes repeated loads cheap):
+
+==========  =============  ======
+midiblue    #cells target  depth
+==========  =============  ======
+midiblue50   50000          20
+midiblue120  120000         22
+midiblue500  500000         24
+==========  =============  ======
 """
 
 from __future__ import annotations
@@ -27,7 +41,16 @@ from typing import Dict, List, Optional
 from ..netlist.design import Design
 from ..netlist.generator import GeneratorSpec, generate_design
 
-__all__ = ["SUITE", "SuiteEntry", "load_design", "suite_statistics", "format_table2"]
+__all__ = [
+    "SUITE",
+    "MIDIBLUE",
+    "SuiteEntry",
+    "MidiblueEntry",
+    "design_spec",
+    "load_design",
+    "suite_statistics",
+    "format_table2",
+]
 
 
 @dataclass(frozen=True)
@@ -59,22 +82,79 @@ SUITE: List[SuiteEntry] = [
 _SUITE_BY_NAME: Dict[str, SuiteEntry] = {e.name: e for e in SUITE}
 
 
-def load_design(name: str) -> Design:
-    """Generate a suite design by name (deterministic per name)."""
-    if name not in _SUITE_BY_NAME:
-        raise KeyError(
-            f"unknown suite design {name!r}; available: {sorted(_SUITE_BY_NAME)}"
+@dataclass(frozen=True)
+class MidiblueEntry:
+    """One midiblue design: vectorized-engine generator knobs."""
+
+    name: str
+    n_cells: int
+    depth: int
+    seed: int
+
+
+#: The midiblue tier (50k-500k cells; vectorized generator engine).
+MIDIBLUE: List[MidiblueEntry] = [
+    MidiblueEntry("midiblue50", 50_000, 20, 150),
+    MidiblueEntry("midiblue120", 120_000, 22, 151),
+    MidiblueEntry("midiblue500", 500_000, 24, 152),
+]
+
+_MIDIBLUE_BY_NAME: Dict[str, MidiblueEntry] = {e.name: e for e in MIDIBLUE}
+
+
+def design_spec(name: str) -> GeneratorSpec:
+    """The :class:`GeneratorSpec` behind a suite design name.
+
+    The spec fully determines the design (the generator is seed-stable),
+    so it also determines the design's cache key - this is the single
+    source of truth shared by direct generation and the bundle cache.
+    """
+    if name in _SUITE_BY_NAME:
+        entry = _SUITE_BY_NAME[name]
+        n_io = max(int(round((entry.n_cells / 1000) * 24)), 8)
+        return GeneratorSpec(
+            name=entry.name,
+            n_cells=entry.n_cells,
+            depth=entry.depth,
+            seed=entry.seed,
+            n_inputs=n_io,
+            n_outputs=n_io,
         )
-    entry = _SUITE_BY_NAME[name]
-    n_io = max(int(round((entry.n_cells / 1000) * 24)), 8)
-    spec = GeneratorSpec(
-        name=entry.name,
-        n_cells=entry.n_cells,
-        depth=entry.depth,
-        seed=entry.seed,
-        n_inputs=n_io,
-        n_outputs=n_io,
-    )
+    if name in _MIDIBLUE_BY_NAME:
+        mentry = _MIDIBLUE_BY_NAME[name]
+        # IO count grows sublinearly past miniblue scale (superblue-like).
+        n_io = max(int(round(24 * (mentry.n_cells / 1000) ** 0.75)), 8)
+        return GeneratorSpec(
+            name=mentry.name,
+            n_cells=mentry.n_cells,
+            depth=mentry.depth,
+            seed=mentry.seed,
+            n_inputs=n_io,
+            n_outputs=n_io,
+            n_high_fanout_nets=max(mentry.n_cells // 2000, 4),
+            high_fanout=32,
+            engine="vectorized",
+        )
+    available = sorted(_SUITE_BY_NAME) + sorted(_MIDIBLUE_BY_NAME)
+    raise KeyError(f"unknown suite design {name!r}; available: {available}")
+
+
+def load_design(
+    name: str, cache: bool = False, cache_dir: Optional[str] = None
+) -> Design:
+    """Generate a suite design by name (deterministic per name).
+
+    ``cache=True`` serves the design through the content-keyed bundle
+    cache (:mod:`repro.netlist.cache`): generated once, bit-identical
+    afterwards.  Repeated cached loads in one process return the *same*
+    object - treat it as immutable (every run path already does).
+    """
+    spec = design_spec(name)
+    if cache:
+        from ..netlist.cache import load_bundle
+
+        bundle, _ = load_bundle(spec, directory=cache_dir)
+        return bundle.design
     return generate_design(spec)
 
 

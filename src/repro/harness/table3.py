@@ -47,6 +47,8 @@ def run_table3(
     validate: bool = False,
     checkpoint_every: int = 0,
     jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> Table3Result:
     """Run the full (designs x modes) comparison matrix.
 
@@ -56,7 +58,9 @@ def run_table3(
     ``checkpoint_every`` saves resumable placer checkpoints on that period
     (see :mod:`repro.runtime`).  ``jobs > 1`` fans the matrix out to that
     many worker processes (see :mod:`repro.harness.parallel`); results
-    and final metrics are identical to the serial run.
+    and final metrics are identical to the serial run.  ``use_cache``
+    serves designs through the bundle cache (bit-identical, loads once
+    per process); ``cache_dir`` overrides its location.
     """
     names = list(designs) if designs is not None else [e.name for e in SUITE]
     result = Table3Result()
@@ -75,11 +79,22 @@ def run_table3(
             for name in names
             for mode in modes
         ]
-        for record in run_parallel(tasks, jobs=jobs, verbose=verbose):
+        records = run_parallel(
+            tasks,
+            jobs=jobs,
+            verbose=verbose,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+        )
+        for record in records:
             result.add(record)
         return result
     for name in names:
-        design = load_design(name) if isinstance(name, str) else name
+        design = (
+            load_design(name, cache=use_cache, cache_dir=cache_dir)
+            if isinstance(name, str)
+            else name
+        )
         for mode in modes:
             record = run_mode(
                 design, mode,

@@ -48,6 +48,13 @@ from .def_io import (
     write_def_file,
 )
 from .bundle import load_design_bundle, save_design
+from .cache import (
+    CacheInfo,
+    DesignBundle,
+    design_cache_key,
+    ensure_cached,
+    load_bundle,
+)
 from .edit import clone_design, insert_buffer
 
 __all__ = [
@@ -98,6 +105,11 @@ __all__ = [
     "write_def_file",
     "load_design_bundle",
     "save_design",
+    "CacheInfo",
+    "DesignBundle",
+    "design_cache_key",
+    "ensure_cached",
+    "load_bundle",
     "clone_design",
     "insert_buffer",
 ]

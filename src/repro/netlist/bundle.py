@@ -6,6 +6,12 @@ the same four files (plus a small manifest) for any :class:`Design`, and
 :func:`load_design_bundle` reconstructs a fully timing-capable design from
 them - the only persistence path in this package that round-trips
 *everything*: library, netlist, constraints, geometry and placement.
+
+This is the portable *interchange* format (text files, tool-readable,
+diff-able).  For the fast content-keyed performance cache the suite
+runner uses to warm its workers (pickled Design + prebuilt TimingGraph,
+checksummed, keyed by generator spec), see :mod:`repro.netlist.cache` -
+the two serve different purposes and neither replaces the other.
 """
 
 from __future__ import annotations

@@ -12,12 +12,29 @@ Two entry points:
 - :func:`generate_design` - fully parameterised generator.
 - :func:`make_chain_design` - a tiny inverter/buffer chain for unit tests.
 
-The miniblue suite (Table 2 equivalent) is defined in
+Two construction engines sit behind :func:`generate_design`, selected by
+``GeneratorSpec.engine``:
+
+- ``"reference"`` (default) - the original scalar generator.  Its signal
+  pool re-scans every candidate driver per connection, which is O(n^2) in
+  cell count: perfect for the ~1-2.5k-cell miniblue suite, hopeless past
+  ~10k cells.  Every published miniblue design keeps using this engine so
+  their netlists (and all downstream metrics) stay bit-identical.
+- ``"vectorized"`` - an O(n) layered engine for the midiblue designs
+  (50k-500k cells): cell types, per-layer driver picks and lookback
+  connections are all drawn as NumPy batches, and the dangling-output
+  sweep works on arrays.  Same structural guarantees as the reference
+  engine (strictly layer-forward connections, hence acyclic; every net
+  driven and sunk; single ideal clock), different - but equally
+  deterministic - netlists.
+
+The miniblue/midiblue suites (Table 2 equivalent) are defined in
 :mod:`repro.harness.suite` on top of :func:`generate_design`.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -47,6 +64,9 @@ class GeneratorSpec:
     clock_period: Optional[float] = None
     period_tightness: float = 0.75
     seed: int = 0
+    #: Construction engine: "reference" (scalar, bit-stable for the
+    #: existing miniblue suite) or "vectorized" (O(n), for 50k+ cells).
+    engine: str = "reference"
     comb_type_weights: Dict[str, float] = field(
         default_factory=lambda: {
             "INV_X1": 0.14,
@@ -123,6 +143,93 @@ class _SignalPool:
 def generate_design(spec: GeneratorSpec, library: Optional[Library] = None) -> Design:
     """Generate a synthetic sequential design from a :class:`GeneratorSpec`."""
     lib = library if library is not None else default_library()
+    if spec.engine == "reference":
+        return _generate_reference(spec, lib)
+    if spec.engine == "vectorized":
+        return _generate_vectorized(spec, lib)
+    raise ValueError(
+        f"unknown generator engine {spec.engine!r}; "
+        "expected 'reference' or 'vectorized'"
+    )
+
+
+def _make_constraints(
+    spec: GeneratorSpec,
+    rng: np.random.Generator,
+    pi_names: Sequence[str],
+    po_names: Sequence[str],
+) -> Constraints:
+    """Clock period plus randomized per-port boundary conditions.
+
+    Draw order (per-PI delay then slew, per-PO delay then load) is part of
+    the reference engine's bit-stability contract - do not reorder.
+    """
+    period = (
+        spec.clock_period
+        if spec.clock_period is not None
+        else _estimate_clock_period(spec)
+    )
+    constraints = Constraints(clock_period=period, clock_port="clk")
+    for name in pi_names:
+        constraints.input_delays[name] = float(rng.uniform(0.0, 0.1 * period))
+        constraints.input_slews[name] = float(rng.uniform(10.0, 40.0))
+    for name in po_names:
+        constraints.output_delays[name] = float(rng.uniform(0.0, 0.1 * period))
+        constraints.output_loads[name] = float(rng.uniform(2.0, 8.0))
+    return constraints
+
+
+def _emit_design(
+    spec: GeneratorSpec,
+    lib: Library,
+    constraints: Constraints,
+    cell_list: Sequence[Tuple[str, str]],
+    nets: Dict[str, List[str]],
+    pi_names: Sequence[str],
+    po_names: Sequence[str],
+    collector_po: Optional[str],
+    ff_names: Sequence[str],
+) -> Design:
+    """Die sizing from the *actual* cell list, then emission.
+
+    Shared by both engines: everything engine-specific (connectivity,
+    randomness) is already frozen into ``cell_list``/``nets``.
+    """
+    total_area = float(sum(lib[t].area for _, t in cell_list))
+    die_area = total_area / spec.utilization
+    row_h = lib["DFF_X1"].height
+    side = math.sqrt(die_area)
+    n_rows = max(int(round(side / row_h)), 4)
+    height = n_rows * row_h
+    width = die_area / height
+    die = (0.0, 0.0, round(width, 3), round(height, 3))
+    xl, yl, xh, yh = die
+
+    builder = DesignBuilder(
+        spec.name, lib, die=die, row_height=row_h, constraints=constraints
+    )
+    builder.add_input("clk", x=xl, y=yl)
+    for i, name in enumerate(pi_names):
+        frac = (i + 1) / (spec.n_inputs + 1)
+        builder.add_input(name, x=xl, y=yl + frac * (yh - yl))
+    for i, name in enumerate(po_names):
+        frac = (i + 1) / (spec.n_outputs + 1)
+        builder.add_output(name, x=xh, y=yl + frac * (yh - yl))
+    if collector_po is not None:
+        builder.add_output(collector_po, x=xh, y=yh)
+    for name, type_name in cell_list:
+        builder.add_cell(name, type_name)
+
+    net_counter = 0
+    for driver_ref, sinks in nets.items():
+        builder.add_net(f"n{net_counter}", [driver_ref] + sinks)
+        net_counter += 1
+    builder.add_net("clknet", ["clk"] + [f"{name}/CK" for name in ff_names])
+    return builder.build()
+
+
+def _generate_reference(spec: GeneratorSpec, lib: Library) -> Design:
+    """The original scalar engine (bit-stable for the miniblue suite)."""
     rng = np.random.default_rng(spec.seed)
 
     n_ff = max(int(spec.n_cells * spec.ff_fraction), 2)
@@ -132,25 +239,13 @@ def generate_design(spec: GeneratorSpec, library: Optional[Library] = None) -> D
     type_probs = np.array([spec.comb_type_weights[t] for t in type_names])
     type_probs = type_probs / type_probs.sum()
 
-    period = (
-        spec.clock_period
-        if spec.clock_period is not None
-        else _estimate_clock_period(spec)
-    )
-    constraints = Constraints(clock_period=period, clock_port="clk")
-
     # ------------------------------------------------------------------
     # Phase 1: construct the netlist structure (no coordinates yet).
     # ------------------------------------------------------------------
     cell_list: List[Tuple[str, str]] = []  # (instance name, cell type)
     pi_names = [f"in{i}" for i in range(spec.n_inputs)]
     po_names = [f"out{i}" for i in range(spec.n_outputs)]
-    for name in pi_names:
-        constraints.input_delays[name] = float(rng.uniform(0.0, 0.1 * period))
-        constraints.input_slews[name] = float(rng.uniform(10.0, 40.0))
-    for name in po_names:
-        constraints.output_delays[name] = float(rng.uniform(0.0, 0.1 * period))
-        constraints.output_loads[name] = float(rng.uniform(2.0, 8.0))
+    constraints = _make_constraints(spec, rng, pi_names, po_names)
 
     pool = _SignalPool(rng, spec.max_fanout)
     for name in pi_names:
@@ -231,40 +326,181 @@ def generate_design(spec: GeneratorSpec, library: Optional[Library] = None) -> D
         constraints.output_loads[collector_po] = 4.0
         nets.setdefault(collector_inputs[0], []).append(collector_po)
 
-    # ------------------------------------------------------------------
-    # Phase 2: die sizing from the *actual* cell list, then emission.
-    # ------------------------------------------------------------------
-    total_area = float(sum(lib[t].area for _, t in cell_list))
-    die_area = total_area / spec.utilization
-    row_h = lib["DFF_X1"].height
-    side = math.sqrt(die_area)
-    n_rows = max(int(round(side / row_h)), 4)
-    height = n_rows * row_h
-    width = die_area / height
-    die = (0.0, 0.0, round(width, 3), round(height, 3))
-    xl, yl, xh, yh = die
-
-    builder = DesignBuilder(
-        spec.name, lib, die=die, row_height=row_h, constraints=constraints
+    return _emit_design(
+        spec, lib, constraints, cell_list, nets,
+        pi_names, po_names, collector_po, ff_names,
     )
-    builder.add_input("clk", x=xl, y=yl)
-    for i, name in enumerate(pi_names):
-        frac = (i + 1) / (spec.n_inputs + 1)
-        builder.add_input(name, x=xl, y=yl + frac * (yh - yl))
-    for i, name in enumerate(po_names):
-        frac = (i + 1) / (spec.n_outputs + 1)
-        builder.add_output(name, x=xh, y=yl + frac * (yh - yl))
-    if collector_po is not None:
-        builder.add_output(collector_po, x=xh, y=yh)
-    for name, type_name in cell_list:
-        builder.add_cell(name, type_name)
 
-    net_counter = 0
-    for driver_ref, sinks in nets.items():
-        builder.add_net(f"n{net_counter}", [driver_ref] + sinks)
-        net_counter += 1
-    builder.add_net("clknet", ["clk"] + [f"{name}/CK" for name in ff_names])
-    return builder.build()
+
+def _generate_vectorized(spec: GeneratorSpec, lib: Library) -> Design:
+    """O(n) layered engine for midiblue-scale designs (50k-500k cells).
+
+    Connectivity is drawn as NumPy batches per layer instead of per pin:
+
+    - each layer's first inputs cover the previous layer via a shuffled
+      assignment (every previous-layer output picks up a sink before any
+      gets a second one), so few signals dangle;
+    - remaining inputs reach back up to 4 layers for reconvergence,
+      sampled uniformly from the contiguous signal-id block of the chosen
+      level range (signals are appended in level order, so a level range
+      is always one contiguous id interval);
+    - the dangling-output sweep, FF/PO endpoint hookups and high-fanout
+      nets mirror the reference engine but operate on id arrays.
+
+    Strictly layer-forward drivers make the netlist acyclic by
+    construction; the collector tree guarantees every net has a sink.
+    """
+    rng = np.random.default_rng(spec.seed)
+
+    n_ff = max(int(spec.n_cells * spec.ff_fraction), 2)
+    n_comb = max(spec.n_cells - n_ff, spec.depth)
+
+    type_names = list(spec.comb_type_weights)
+    type_probs = np.array([spec.comb_type_weights[t] for t in type_names])
+    type_probs = type_probs / type_probs.sum()
+    type_in_pins = [
+        [p.name for p in lib[t].input_pins] for t in type_names
+    ]
+    type_out_pin = [lib[t].output_pins[0].name for t in type_names]
+    type_n_in = np.array([len(pins) for pins in type_in_pins])
+
+    pi_names = [f"in{i}" for i in range(spec.n_inputs)]
+    po_names = [f"out{i}" for i in range(spec.n_outputs)]
+    constraints = _make_constraints(spec, rng, pi_names, po_names)
+
+    cell_list: List[Tuple[str, str]] = []
+    ff_names = [f"ff{i}" for i in range(n_ff)]
+    cell_list.extend((name, "DFF_X1") for name in ff_names)
+
+    # Signals are appended level block by level block: level L's driver
+    # ids occupy [level_start[L], level_start[L + 1]).
+    sig_refs: List[str] = list(pi_names)
+    sig_refs.extend(f"{name}/Q" for name in ff_names)
+    level_start: List[int] = [0, len(sig_refs)]
+
+    per_layer = [n_comb // spec.depth] * spec.depth
+    for i in range(n_comb - sum(per_layer)):
+        per_layer[i % spec.depth] += 1
+
+    # Edges accumulate as (driver signal id array, sink pin-ref list)
+    # chunks; flattened once at the end.
+    edge_driver: List[np.ndarray] = []
+    edge_sinks: List[List[str]] = []
+
+    cell_counter = 0
+    for layer in range(1, spec.depth + 1):
+        k = per_layer[layer - 1]
+        t_idx = rng.choice(len(type_names), size=k, p=type_probs)
+        names = [f"u{cell_counter + i}" for i in range(k)]
+        cell_counter += k
+        cell_list.extend(
+            (names[i], type_names[t_idx[i]]) for i in range(k)
+        )
+
+        # First input: cover the previous layer before any repeats.
+        prev_lo, prev_hi = level_start[layer - 1], level_start[layer]
+        perm = rng.permutation(np.arange(prev_lo, prev_hi, dtype=np.int64))
+        if k <= perm.size:
+            first = perm[:k]
+        else:
+            first = np.concatenate(
+                [perm, prev_lo + rng.integers(0, perm.size, size=k - perm.size)]
+            )
+        edge_driver.append(first)
+        edge_sinks.append(
+            [f"{names[i]}/{type_in_pins[t_idx[i]][0]}" for i in range(k)]
+        )
+
+        # Later inputs reach back up to 4 levels for reconvergence.
+        starts = np.asarray(level_start, dtype=np.int64)
+        hi = level_start[layer]
+        for slot in range(1, int(type_n_in[t_idx].max(initial=1))):
+            which = np.nonzero(type_n_in[t_idx] > slot)[0]
+            if which.size == 0:
+                continue
+            lo_level = np.maximum(
+                0, layer - 1 - rng.integers(0, 4, size=which.size)
+            )
+            lo = starts[lo_level]
+            picks = lo + np.minimum(
+                np.floor(rng.random(which.size) * (hi - lo)).astype(np.int64),
+                hi - lo - 1,
+            )
+            edge_driver.append(picks)
+            edge_sinks.append(
+                [f"{names[i]}/{type_in_pins[t_idx[i]][slot]}" for i in which]
+            )
+
+        sig_refs.extend(f"{names[i]}/{type_out_pin[t_idx[i]]}" for i in range(k))
+        level_start.append(len(sig_refs))
+
+    # Endpoint hookup: FF D pins and POs consume late-layer signals.
+    for sinks, lo_level in (
+        ([f"{name}/D" for name in ff_names], max(1, spec.depth - 3)),
+        (list(po_names), max(1, spec.depth - 2)),
+    ):
+        lo, hi = level_start[lo_level], len(sig_refs)
+        edge_driver.append(lo + rng.integers(0, hi - lo, size=len(sinks)))
+        edge_sinks.append(sinks)
+
+    # A few deliberately high-fanout nets (enable/select-style signals).
+    for _ in range(spec.n_high_fanout_nets):
+        idx = int(rng.integers(0, len(sig_refs)))
+        if "/" not in sig_refs[idx]:
+            continue
+        buf_names = [f"hf{cell_counter + i}" for i in range(spec.high_fanout)]
+        cell_counter += spec.high_fanout
+        cell_list.extend((name, "BUF_X1") for name in buf_names)
+        edge_driver.append(np.full(spec.high_fanout, idx, dtype=np.int64))
+        edge_sinks.append([f"{name}/A" for name in buf_names])
+        # Buffer outputs register as signals; unused ones are swept below.
+        sig_refs.extend(f"{name}/Y" for name in buf_names)
+
+    # Sweep dangling cell outputs into a PO via shared collector gates so
+    # every net has at least one sink (port signals may legally dangle).
+    driver_ids = (
+        np.concatenate(edge_driver)
+        if edge_driver
+        else np.empty(0, dtype=np.int64)
+    )
+    fanout = np.bincount(driver_ids, minlength=len(sig_refs))
+    is_cell_out = np.array(["/" in ref for ref in sig_refs])
+    dangling_ids = np.nonzero((fanout == 0) & is_cell_out)[0]
+
+    ref_edges: List[Tuple[str, str]] = []  # (driver ref, sink ref)
+    collector_inputs: List[str] = [sig_refs[i] for i in dangling_ids.tolist()]
+    while len(collector_inputs) > 1:
+        n_pairs = len(collector_inputs) // 2
+        gate_names = [f"col{cell_counter + i}" for i in range(n_pairs)]
+        cell_counter += n_pairs
+        cell_list.extend((name, "NAND2_X1") for name in gate_names)
+        for j, gate in enumerate(gate_names):
+            ref_edges.append((collector_inputs[2 * j], f"{gate}/A"))
+            ref_edges.append((collector_inputs[2 * j + 1], f"{gate}/B"))
+        next_round = [f"{gate}/Y" for gate in gate_names]
+        if len(collector_inputs) % 2 == 1:
+            next_round.append(collector_inputs[-1])
+        collector_inputs = next_round
+
+    collector_po = f"col_out{cell_counter}" if collector_inputs else None
+    if collector_po is not None:
+        constraints.output_delays[collector_po] = 0.0
+        constraints.output_loads[collector_po] = 4.0
+        ref_edges.append((collector_inputs[0], collector_po))
+
+    # Group sinks by driver, preserving first-appearance net order.
+    nets: Dict[str, List[str]] = {}
+    driver_refs = [sig_refs[i] for i in driver_ids.tolist()]
+    all_sinks = itertools.chain.from_iterable(edge_sinks)
+    for driver_ref, sink_ref in zip(driver_refs, all_sinks):
+        nets.setdefault(driver_ref, []).append(sink_ref)
+    for driver_ref, sink_ref in ref_edges:
+        nets.setdefault(driver_ref, []).append(sink_ref)
+
+    return _emit_design(
+        spec, lib, constraints, cell_list, nets,
+        pi_names, po_names, collector_po, ff_names,
+    )
 
 
 def make_chain_design(

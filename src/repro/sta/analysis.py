@@ -331,9 +331,17 @@ def run_sta(
     compute_hold: bool = False,
     wire_delay_model: str = "elmore",
     propagated_clock: bool = False,
+    graph: Optional[TimingGraph] = None,
 ) -> STAResult:
-    """One-shot STA convenience wrapper."""
-    analyzer = StaticTimingAnalyzer(design, wire_delay_model=wire_delay_model)
+    """One-shot STA convenience wrapper.
+
+    ``graph`` skips the levelization/LUT-banking rebuild by reusing a
+    prebuilt :class:`TimingGraph` of the *same* design (e.g. from a
+    cached design bundle); results are bit-identical either way.
+    """
+    analyzer = StaticTimingAnalyzer(
+        design, graph=graph, wire_delay_model=wire_delay_model
+    )
     return analyzer.run(
         cell_x, cell_y, compute_hold=compute_hold,
         propagated_clock=propagated_clock,

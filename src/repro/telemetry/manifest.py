@@ -98,6 +98,9 @@ class RunManifest:
     #: hash, and the ``clean`` verdict of the producing tree (see
     #: :func:`repro.analysis.provenance.analysis_provenance`).
     analysis: Optional[Dict[str, Any]] = None
+    #: Design-bundle cache provenance (key, hit/miss, setup seconds) when
+    #: the run's design came from :mod:`repro.netlist.cache`.
+    design_cache: Optional[Dict[str, Any]] = None
 
     @classmethod
     def create(

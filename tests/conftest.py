@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,24 @@ from repro.netlist import (
     generate_design,
     make_chain_design,
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_design_cache(tmp_path_factory):
+    """Point the design-bundle cache at a per-session temp directory.
+
+    Keeps test runs from writing into ``benchmarks/.design_cache`` while
+    still exercising the real cache code paths (spawned suite workers
+    inherit the environment override).
+    """
+    path = tmp_path_factory.mktemp("design_cache")
+    old = os.environ.get("REPRO_DESIGN_CACHE")
+    os.environ["REPRO_DESIGN_CACHE"] = str(path)
+    yield str(path)
+    if old is None:
+        os.environ.pop("REPRO_DESIGN_CACHE", None)
+    else:
+        os.environ["REPRO_DESIGN_CACHE"] = old
 
 
 @pytest.fixture(scope="session")

@@ -3,14 +3,18 @@
 ``--jobs N`` must be a wall-clock-only knob: the per-design final
 metrics it produces are identical to a serial run, the merged suite
 manifest aggregates per-run telemetry and span trees, and the CLI
-``suite`` subcommand writes byte-stable metric files.
+``suite`` subcommand writes byte-stable metric files.  The warm-worker
+path (spawn pool + design-bundle cache) must be byte-identical to the
+legacy cold path - the cache is a wall-clock optimisation only.
 """
 
 import json
 import os
 
+import numpy as np
 import pytest
 
+import repro.harness.parallel as parallel_mod
 from repro.harness.__main__ import main as harness_main
 from repro.harness.parallel import (
     SUITE_MANIFEST_FILENAME,
@@ -76,6 +80,61 @@ class TestRunParallelDeterminism:
         assert set(metrics["miniblue18"]["ours"]) == {"s0"}
 
 
+class TestWarmWorkers:
+    def test_pool_pinned_to_spawn(self, monkeypatch):
+        """Fork would inherit warmed NumPy/RNG state; spawn must be used."""
+        seen = []
+        real = parallel_mod.multiprocessing.get_context
+
+        def spy(method=None):
+            seen.append(method)
+            return real(method)
+
+        monkeypatch.setattr(
+            parallel_mod.multiprocessing, "get_context", spy
+        )
+        run_parallel(_TASKS[:2], jobs=2)
+        assert seen == ["spawn"]
+
+    def test_cold_and_warm_serial_byte_identical(self, tmp_path):
+        """The cache is wall-clock-only: records must not change at all."""
+        cold = run_parallel(_TASKS, jobs=1, use_cache=False)
+        warm = run_parallel(
+            _TASKS, jobs=1, use_cache=True, cache_dir=str(tmp_path)
+        )
+        assert suite_metrics(_TASKS, cold) == suite_metrics(_TASKS, warm)
+        for c, w in zip(cold, warm):
+            np.testing.assert_array_equal(c.x, w.x)
+            np.testing.assert_array_equal(c.y, w.y)
+            assert c.wns == w.wns and c.tns == w.tns and c.hpwl == w.hpwl
+
+    def test_cold_serial_vs_warm_parallel_byte_identical(self, tmp_path):
+        cold = run_parallel(_TASKS, jobs=1, use_cache=False)
+        warm = run_parallel(
+            _TASKS, jobs=2, use_cache=True, cache_dir=str(tmp_path)
+        )
+        for c, w in zip(cold, warm):
+            np.testing.assert_array_equal(c.x, w.x)
+            np.testing.assert_array_equal(c.y, w.y)
+        assert suite_metrics(_TASKS, cold) == suite_metrics(_TASKS, warm)
+
+    def test_warm_records_carry_cache_provenance(self, tmp_path):
+        records = run_parallel(
+            _TASKS, jobs=1, use_cache=True, cache_dir=str(tmp_path)
+        )
+        for rec in records:
+            assert rec.setup_s >= 0.0
+            assert rec.design_cache is not None
+            assert rec.design_cache["key"]
+            # The parent primed the cache, so loads are hits.
+            assert rec.design_cache["hit"]
+
+    def test_cold_records_have_no_cache_provenance(self):
+        (rec,) = run_parallel(_TASKS[:1], jobs=1, use_cache=False)
+        assert rec.design_cache is None
+        assert rec.setup_s > 0.0
+
+
 class TestSuiteManifest:
     def test_manifest_merges_runs_and_span_trees(self, tmp_path):
         tdir = str(tmp_path)
@@ -97,6 +156,13 @@ class TestSuiteManifest:
         for entry in payload["runs"]:
             assert entry["manifest"] is not None
             assert os.path.isdir(os.path.join(tdir, entry["run_id"]))
+            # Cache provenance: setup split + bundle key/hit recorded in
+            # both the suite entry and the per-run manifest.
+            assert entry["setup_s"] >= 0.0
+            assert entry["design_cache"]["key"]
+            assert entry["manifest"]["design_cache"]["key"] == (
+                entry["design_cache"]["key"]
+            )
         merged = payload["merged_span_tree"]
         assert merged is not None
         names = {c["name"] for c in merged["children"]}

@@ -1,0 +1,86 @@
+"""The midiblue tier: 50k+-cell vectorized-engine designs.
+
+midiblue designs must be structurally valid (every check in
+``repro.runtime.validate``), levelize without combinational cycles, be
+deterministic per name, and run a few placer iterations in all three
+Table 3 modes.  Loaded once per test session through the bundle cache -
+generation at this scale is the expensive part.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.runners import MODES, run_mode
+from repro.harness.suite import MIDIBLUE, design_spec, load_design
+from repro.netlist.cache import load_bundle
+from repro.place.placer import PlacerOptions
+from repro.runtime.validate import validate_design
+
+
+@pytest.fixture(scope="module")
+def midiblue50(tmp_path_factory):
+    """The ~50k-cell design + prebuilt graph, via a module-local cache."""
+    cdir = str(tmp_path_factory.mktemp("midiblue_cache"))
+    bundle, _ = load_bundle(design_spec("midiblue50"), cdir)
+    return bundle
+
+
+class TestRegistry:
+    def test_three_sizes_registered(self):
+        assert [e.name for e in MIDIBLUE] == [
+            "midiblue50",
+            "midiblue120",
+            "midiblue500",
+        ]
+        assert [e.n_cells for e in MIDIBLUE] == [50_000, 120_000, 500_000]
+
+    def test_specs_use_the_vectorized_engine(self):
+        for entry in MIDIBLUE:
+            spec = design_spec(entry.name)
+            assert spec.engine == "vectorized"
+            assert spec.seed == entry.seed
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="midiblue50"):
+            design_spec("nosuchdesign")
+
+
+class TestMidiblue50:
+    def test_scale(self, midiblue50):
+        design = midiblue50.design
+        # Within 25% of the 50k movable-cell target (ports/FF/collector
+        # overhead lands on top of n_cells).
+        assert 50_000 <= design.n_cells <= 75_000
+
+    def test_validates_clean(self, midiblue50):
+        report = validate_design(
+            midiblue50.design, graph=midiblue50.graph
+        )
+        assert report.ok, report.format()
+
+    def test_levelizes_acyclic(self, midiblue50):
+        graph = midiblue50.graph
+        assert graph.n_levels > 1
+        # Every timing arc goes strictly forward in level order.
+        assert np.all(
+            graph.level[graph.c_dst] >= graph.level[graph.c_src]
+        )
+
+    def test_deterministic_per_name(self):
+        a = load_design("midiblue50")
+        b = load_design("midiblue50")
+        np.testing.assert_array_equal(a.cell_x, b.cell_x)
+        np.testing.assert_array_equal(a.pin2net, b.pin2net)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_five_placer_iterations(self, midiblue50, mode):
+        record = run_mode(
+            midiblue50.design,
+            mode,
+            placer_options=PlacerOptions(max_iters=5),
+            sta_graph=midiblue50.graph,
+        )
+        assert record.iterations >= 1
+        assert np.isfinite(record.wns)
+        assert np.isfinite(record.hpwl) and record.hpwl > 0
+        assert record.x.shape == (midiblue50.design.n_cells,)
