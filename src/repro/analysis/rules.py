@@ -18,7 +18,7 @@ __all__ = ["RULES_VERSION"]
 
 #: Bumped whenever a rule is added, removed, or changes what it flags;
 #: recorded in baselines and in telemetry run manifests.
-RULES_VERSION = "1.0"
+RULES_VERSION = "1.1"
 
 
 def _is_numpy(node: ast.AST) -> bool:
@@ -452,3 +452,48 @@ class BackwardPair(Rule):
                         gradcheck = value.value
             return backward, gradcheck, deco
         return None
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class SupervisedPoolOnly(Rule):
+    """Process pools must go through the supervised execution layer.
+
+    A bare ``ProcessPoolExecutor`` has no crash isolation: one SIGKILL'd
+    worker breaks the whole pool and discards every completed result.
+    ``repro.harness.supervisor`` owns process fan-out (task timeouts,
+    bounded deterministic retry, quarantine, partial-result salvage) and
+    is the only module allowed to construct pools - it also hosts the
+    legacy unsupervised executor kept as the byte-identity reference.
+    Tests are exempt (they exercise pool behaviour directly).
+    """
+
+    id = "supervised-pool-only"
+    description = (
+        "construct process pools only in repro.harness.supervisor "
+        "(use run_tasks/run_supervised elsewhere)"
+    )
+
+    _ALLOWED_FILES = ("src/repro/harness/supervisor.py",)
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        if _in_tests(ctx) or ctx.relpath in self._ALLOWED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name == "ProcessPoolExecutor":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare ProcessPoolExecutor construction is banned "
+                    "outside repro.harness.supervisor; fan out through "
+                    "repro.harness.parallel.run_tasks (supervised: crash "
+                    "isolation, retry, quarantine, salvage)",
+                )

@@ -108,10 +108,24 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_suite(args) -> int:
-    """``suite``: designs x modes x seeds matrix, optionally parallel."""
+    """``suite``: designs x modes x seeds matrix, optionally parallel.
+
+    Runs under the task supervisor by default (crash isolation, per-task
+    timeouts, bounded deterministic retry, quarantine); failures surface
+    as one-line :class:`SupervisorError` summaries, never multi-process
+    tracebacks.  Exits 1 when the suite aborted (unsupervised path) or
+    when any task was quarantined - completed results are still written.
+    """
     import json
 
-    from .parallel import SuiteTask, run_parallel, suite_metrics, write_suite_manifest
+    from .parallel import (
+        SupervisorError,
+        SupervisorOptions,
+        SuiteTask,
+        run_tasks,
+        suite_metrics,
+        write_suite_manifest,
+    )
 
     designs = args.designs
     if not designs:
@@ -132,15 +146,31 @@ def _cmd_suite(args) -> int:
         for mode in args.modes
         for seed in args.seeds
     ]
-    records = run_parallel(
-        tasks,
-        jobs=args.jobs,
-        verbose=True,
-        use_cache=not args.no_design_cache,
-        cache_dir=args.cache_dir,
+    options = SupervisorOptions(
+        task_timeout=args.task_timeout, max_retries=args.max_retries
     )
+    try:
+        records, supervision = run_tasks(
+            tasks,
+            jobs=args.jobs,
+            verbose=True,
+            use_cache=not args.no_design_cache,
+            cache_dir=args.cache_dir,
+            supervise=not args.no_supervise,
+            supervisor_options=options,
+        )
+    except SupervisorError as exc:
+        print(exc.summary(), file=sys.stderr)
+        if exc.partial_manifest:
+            print(
+                f"partial suite manifest: {exc.partial_manifest}",
+                file=sys.stderr,
+            )
+        return 1
     if args.telemetry:
-        path = write_suite_manifest(args.telemetry, tasks, records, args.jobs)
+        path = write_suite_manifest(
+            args.telemetry, tasks, records, args.jobs, supervision=supervision
+        )
         print(f"suite manifest: {path}")
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
@@ -152,6 +182,16 @@ def _cmd_suite(args) -> int:
             )
             handle.write("\n")
         print(f"metrics: {args.metrics_out}")
+    quarantined = [r for r in records if r.quarantined]
+    if quarantined:
+        for rec in quarantined:
+            print(rec.summary(), file=sys.stderr)
+        print(
+            f"{len(quarantined)} task(s) quarantined; "
+            "see the suite manifest's supervision block",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -278,6 +318,30 @@ def _subcommand_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--rsmt-period", type=int, default=None, metavar="N")
     suite_p.add_argument(
         "--rsmt-dirty-threshold", type=float, default=None, metavar="DIST"
+    )
+    suite_p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock timeout under supervision; a worker "
+        "exceeding it is killed and the task retried (default: none)",
+    )
+    suite_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per task before quarantine (default 2; the suite "
+        "completes either way, quarantined tasks are recorded in the "
+        "suite manifest)",
+    )
+    suite_p.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="legacy bare process-pool fan-out: no timeouts, retries or "
+        "crash isolation; the first failure aborts the suite (completed "
+        "runs are still salvaged into a partial manifest)",
     )
     suite_p.set_defaults(func=_cmd_suite)
 

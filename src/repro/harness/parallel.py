@@ -1,10 +1,10 @@
 """Process-parallel execution of independent placement runs.
 
 The Table-3 matrix and the suite runner fan (design, mode, seed) tasks
-out to a :class:`concurrent.futures.ProcessPoolExecutor`.  Each task is
-self-contained - the worker loads the design by name, seeds its own run
-and streams its own telemetry - so runs never share mutable state and
-the fan-out is deterministic:
+out across worker processes.  Each task is self-contained - the worker
+loads the design by name, seeds its own run and streams its own
+telemetry - so runs never share mutable state and the fan-out is
+deterministic:
 
 - every run's randomness comes from its task's explicit seed (the placer
   seeds a fresh ``Generator`` per run; no global RNG is shared);
@@ -13,43 +13,63 @@ the fan-out is deterministic:
   derived from the task (not from timestamps), and the parent merges the
   manifests and profiler span trees afterwards.
 
-Workers are **warm**: the pool is pinned to the ``spawn`` start method
+Workers are **warm**: pools are pinned to the ``spawn`` start method
 (fork would inherit the parent's warmed NumPy/RNG state, which is both
-platform-dependent and a determinism hazard), and a per-process
-initializer preloads the shared immutable design state - netlist CSRs,
-library LUTs, levelized timing graph - once per process through the
-design-bundle cache (:mod:`repro.netlist.cache`).  Each task then only
-carries ``(design name, mode, seed, options)``; the parent primes the
-on-disk cache before fanning out so workers never race to generate the
-same design.
+platform-dependent and a determinism hazard), and each worker preloads
+the shared immutable design state - netlist CSRs, library LUTs,
+levelized timing graph - once per process through the design-bundle
+cache (:mod:`repro.netlist.cache`).  Each task then only carries
+``(design name, mode, seed, options)``; the parent primes the on-disk
+cache before fanning out so workers never race to generate the same
+design.
 
-Consequently ``--jobs N`` changes wall-clock only: the per-design final
-metrics are bit-identical to a serial run (the CI determinism job diffs
-the two metric files byte for byte), and cached runs are bit-identical
-to uncached ones (pickle round-trips NumPy arrays exactly).
+Execution itself is delegated to :mod:`repro.harness.supervisor`.  The
+default (supervised) path adds per-task timeouts, bounded deterministic
+retry, crash isolation with worker respawn, and quarantine - one dead or
+poisoned task no longer costs the suite.  ``supervise=False`` keeps the
+legacy bare executor fan-out (the byte-identity reference); either way a
+terminal failure salvages every completed run into a partial suite
+manifest (``"partial": true``) before the typed
+:class:`~repro.harness.supervisor.SupervisorError` propagates.
+
+Consequently ``--jobs N`` *and supervision* change wall-clock only: on a
+fault-free suite the per-design final metrics are bit-identical across
+``--jobs 1`` / ``--jobs N`` / supervised / unsupervised (the CI
+determinism job diffs the metric files byte for byte), and cached runs
+are bit-identical to uncached ones (pickle round-trips NumPy arrays
+exactly).
 """
 
 from __future__ import annotations
 
 import json
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-import multiprocessing
+import multiprocessing  # noqa: F401  (re-exported: tests spy get_context here)
 
-from ..core.objective import TimingObjectiveOptions
-from ..netlist.cache import ensure_cached, load_bundle
-from ..perf import PROFILER, merge_span_trees
-from ..place.placer import PlacerOptions
+from ..netlist.cache import ensure_cached
+from ..perf import merge_span_trees
 from ..telemetry.manifest import load_manifest
-from .runners import RunRecord, run_mode
-from .suite import design_spec, load_design
+from .runners import RunRecord
+from .supervisor import (
+    PoolBrokenError,
+    SupervisorError,
+    SupervisorOptions,
+    SuiteTask,
+    TaskFailedError,
+    _execute_task,  # noqa: F401  (re-exported: legacy import location)
+    run_pool_unsupervised,
+    run_supervised,
+)
+from .suite import design_spec
 
 __all__ = [
     "SuiteTask",
+    "SupervisorError",
+    "SupervisorOptions",
+    "PoolBrokenError",
+    "TaskFailedError",
     "run_parallel",
     "run_suite",
     "suite_metrics",
@@ -60,93 +80,46 @@ __all__ = [
 SUITE_MANIFEST_FILENAME = "suite_manifest.json"
 
 
-@dataclass
-class SuiteTask:
-    """One self-contained (design, mode, seed) placement run."""
-
-    design: str
-    mode: str
-    seed: int = 0
-    max_iters: int = 600
-    checkpoint_every: int = 0
-    rsmt_period: Optional[int] = None
-    rsmt_dirty_threshold: Optional[float] = None
-    telemetry_dir: Optional[str] = None
-    profile: bool = False
-    with_trace_sta: bool = False
-    extra_placer_options: Dict[str, Any] = field(default_factory=dict)
-
-    @property
-    def run_id(self) -> str:
-        """Deterministic telemetry run id (no timestamp/pid component)."""
-        return f"{self.design}_{self.mode}_s{self.seed}"
-
-    def timing_options(self) -> Optional[TimingObjectiveOptions]:
-        if self.rsmt_period is None and self.rsmt_dirty_threshold is None:
-            return None
-        opts = TimingObjectiveOptions()
-        if self.rsmt_period is not None:
-            opts.rsmt_period = self.rsmt_period
-        opts.rsmt_dirty_threshold = self.rsmt_dirty_threshold
-        return opts
-
-
-def _execute_task(
-    task: SuiteTask,
-    use_cache: bool = True,
-    cache_dir: Optional[str] = None,
-) -> RunRecord:
-    """Worker body: run one task and attach its profiler span tree.
-
-    With ``use_cache`` the design (and its prebuilt timing graph) comes
-    from the bundle cache: in a warm worker the per-process memo serves
-    it with zero disk traffic, so ``setup_s`` collapses to microseconds
-    after the first task.  Without, the legacy cold path regenerates the
-    design from scratch - kept as the benchmark baseline and as a
-    cross-check that cached runs are bit-identical.
-    """
-    t0 = time.perf_counter()
-    graph = None
-    cache_info = None
-    if use_cache:
-        bundle, info = load_bundle(design_spec(task.design), cache_dir)
-        design = bundle.design
-        graph = bundle.graph
-        cache_info = info.to_dict()
-    else:
-        design = load_design(task.design)
-    setup_s = time.perf_counter() - t0
-    record = run_mode(
-        design,
-        task.mode,
-        placer_options=PlacerOptions(
-            max_iters=task.max_iters,
-            seed=task.seed,
-            checkpoint_every=task.checkpoint_every,
-            **task.extra_placer_options,
-        ),
-        timing_options=task.timing_options(),
-        with_trace_sta=task.with_trace_sta,
-        profile=task.profile,
-        telemetry_dir=task.telemetry_dir,
-        run_id=task.run_id if task.telemetry_dir else None,
-        sta_graph=graph,
-        design_cache=cache_info,
-    )
-    record.setup_s = setup_s
-    if task.profile or task.telemetry_dir:
-        record.span_tree = PROFILER.tree()
-    return record
-
-
-def _worker_init(cache_directory: Optional[str], names: Sequence[str]) -> None:
-    """Spawned-worker initializer: preload every task design once.
-
-    Populates the per-process bundle memo from the on-disk cache (primed
-    by the parent), so every task this worker executes starts warm.
-    """
+def _prime_cache(
+    tasks: Sequence[SuiteTask], cache_dir: Optional[str]
+) -> None:
+    """Prime the on-disk bundle cache serially so spawned workers always
+    hit a valid file instead of racing to generate the same design."""
+    names: List[str] = []
+    for task in tasks:
+        if task.design not in names:
+            names.append(task.design)
     for name in names:
-        load_bundle(design_spec(name), cache_directory)
+        ensure_cached(design_spec(name), cache_dir)
+
+
+def _salvage_partial_manifest(
+    exc: SupervisorError,
+    tasks: Sequence[SuiteTask],
+    jobs: int,
+) -> None:
+    """Satellite fix: never abandon completed runs on a terminal failure.
+
+    Writes a partial suite manifest (``"partial": true``) holding every
+    completed record the failure salvaged, into the suite's telemetry
+    directory when there is one, and attaches its path to the exception.
+    """
+    directory = next(
+        (t.telemetry_dir for t in tasks if t.telemetry_dir), None
+    )
+    if directory is None or not exc.completed:
+        return
+    completed = sorted(exc.completed, key=lambda pair: pair[0])
+    try:
+        exc.partial_manifest = write_suite_manifest(
+            directory,
+            [tasks[i] for i, _ in completed],
+            [rec for _, rec in completed],
+            jobs,
+            partial=True,
+        )
+    except OSError:  # pragma: no cover - salvage must not mask the failure
+        pass
 
 
 def run_parallel(
@@ -155,60 +128,99 @@ def run_parallel(
     verbose: bool = False,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    supervise: bool = True,
+    supervisor_options: Optional[SupervisorOptions] = None,
 ) -> List[RunRecord]:
     """Run tasks across ``jobs`` worker processes; results in task order.
 
-    ``jobs <= 1`` runs everything in-process (no executor), which is the
-    reference ordering the parallel path must reproduce.  The pool is
-    pinned to the ``spawn`` start method: workers import a pristine
-    interpreter instead of inheriting the parent's warmed NumPy/RNG
-    state, which keeps the fan-out deterministic across platforms.
+    Thin wrapper over :func:`run_tasks` for callers that only need the
+    records (quarantined tasks contribute placeholder records with
+    ``stop_reason="quarantined:<kind>"``).
+    """
+    records, _ = run_tasks(
+        tasks,
+        jobs=jobs,
+        verbose=verbose,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        supervise=supervise,
+        supervisor_options=supervisor_options,
+    )
+    return records
 
-    With ``use_cache`` (the default) the parent primes the design-bundle
-    cache before fanning out and each worker's initializer preloads the
-    bundles, so workers are warm from their first task.
-    ``use_cache=False`` is the legacy cold path (regenerate per task) -
-    the benchmark baseline.
+
+def run_tasks(
+    tasks: Sequence[SuiteTask],
+    jobs: int = 1,
+    verbose: bool = False,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    supervise: bool = True,
+    supervisor_options: Optional[SupervisorOptions] = None,
+) -> Tuple[List[RunRecord], Optional[Dict[str, Any]]]:
+    """Run tasks, returning ``(records, supervision provenance)``.
+
+    ``supervise=True`` (the default) routes through
+    :func:`repro.harness.supervisor.run_supervised`; the provenance dict
+    is non-None only when supervision actually intervened (a retry,
+    quarantine, respawn, or serial degradation), so fault-free suites
+    stay byte-identical to unsupervised output.  ``supervise=False`` is
+    the legacy bare executor fan-out - no retries, first failure aborts.
+
+    Either way, a terminal :class:`SupervisorError` first salvages every
+    completed record into a partial suite manifest (satellite fix) and
+    then propagates with ``.partial_manifest`` set.
     """
     tasks = list(tasks)
-    names: List[str] = []
-    for task in tasks:
-        if task.design not in names:
-            names.append(task.design)
     if use_cache:
-        # Prime the on-disk cache serially so spawned workers always hit
-        # a valid file instead of racing to generate the same design.
-        for name in names:
-            ensure_cached(design_spec(name), cache_dir)
-    if jobs <= 1 or len(tasks) <= 1:
-        records = []
-        for task in tasks:
-            record = _execute_task(task, use_cache, cache_dir)
-            records.append(record)
-            if verbose:
-                print(record.summary())
-        return records
-
-    ctx = multiprocessing.get_context("spawn")
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(tasks)),
-        mp_context=ctx,
-        initializer=_worker_init if use_cache else None,
-        initargs=(cache_dir, tuple(names)) if use_cache else (),
-    ) as pool:
-        futures = [
-            pool.submit(_execute_task, task, use_cache, cache_dir)
-            for task in tasks
-        ]
-        records = []
-        # Ordered collection: wait for tasks in submission order so the
-        # output (and any verbose printing) is independent of scheduling.
-        for future in futures:
-            record = future.result()
-            records.append(record)
-            if verbose:
-                print(record.summary())
-    return records
+        _prime_cache(tasks, cache_dir)
+    try:
+        if supervise:
+            records, result = run_supervised(
+                tasks,
+                jobs=jobs,
+                options=supervisor_options,
+                verbose=verbose,
+                use_cache=use_cache,
+                cache_dir=cache_dir,
+            )
+            return records, (
+                result.supervision_dict() if result.eventful else None
+            )
+        if jobs <= 1 or len(tasks) <= 1:
+            # Unsupervised serial reference path, in-process.
+            records = []
+            for index, task in enumerate(tasks):
+                try:
+                    record = _execute_task(
+                        task, use_cache, cache_dir, task_index=index
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    raise TaskFailedError(
+                        f"{type(exc).__name__}: {exc}",
+                        task_index=index,
+                        run_id=task.run_id,
+                        completed=list(enumerate(records)),
+                    ) from exc
+                records.append(record)
+                if verbose:
+                    print(record.summary())
+            return records, None
+        return (
+            run_pool_unsupervised(
+                tasks,
+                jobs=jobs,
+                verbose=verbose,
+                use_cache=use_cache,
+                cache_dir=cache_dir,
+            ),
+            None,
+        )
+    except SupervisorError as exc:
+        _salvage_partial_manifest(exc, tasks, jobs)
+        raise
 
 
 def _final_metrics(rec: RunRecord) -> Dict[str, Any]:
@@ -229,10 +241,15 @@ def suite_metrics(
 
     Runtime (and other wall-clock quantities) are deliberately excluded:
     this dict must be byte-identical between ``--jobs 1`` and
-    ``--jobs N`` runs of the same matrix.
+    ``--jobs N`` runs of the same matrix.  Quarantined placeholder
+    records are excluded too - their NaN metrics would poison the JSON
+    and they carry no real result; the suite manifest records them under
+    ``supervision`` instead.
     """
     out: Dict[str, Any] = {}
     for task, rec in zip(tasks, records):
+        if rec.quarantined:
+            continue
         out.setdefault(rec.design, {}).setdefault(rec.mode, {})[
             f"s{task.seed}"
         ] = _final_metrics(rec)
@@ -244,12 +261,21 @@ def write_suite_manifest(
     tasks: Sequence[SuiteTask],
     records: Sequence[RunRecord],
     jobs: int,
+    supervision: Optional[Dict[str, Any]] = None,
+    partial: bool = False,
 ) -> str:
     """Merge per-run telemetry into one ``suite_manifest.json``.
 
     Collects each run's manifest (when the run streamed telemetry) and
     merges the per-run profiler span trees into a single aggregate tree,
     so a parallel suite still yields one hierarchical profile.
+
+    ``supervision`` is the supervisor's provenance dict; it (and per-run
+    ``attempts``/``quarantine`` fields) is only emitted when supervision
+    actually intervened, so a fault-free supervised manifest stays
+    byte-identical to an unsupervised one.  ``partial=True`` marks a
+    salvage manifest written on a terminal failure: it holds only the
+    completed subset of the suite.
     """
     runs = []
     for task, rec in zip(tasks, records):
@@ -258,11 +284,16 @@ def write_suite_manifest(
             "mode": rec.mode,
             "seed": task.seed,
             "run_id": task.run_id,
-            "final_metrics": _final_metrics(rec),
+            "final_metrics": None if rec.quarantined else _final_metrics(rec),
             "runtime": rec.runtime,
             "setup_s": rec.setup_s,
             "design_cache": rec.design_cache,
         }
+        if rec.attempts > 1:
+            entry["attempts"] = rec.attempts
+        if rec.quarantined:
+            entry["quarantined"] = True
+            entry["quarantine"] = rec.quarantine
         if rec.run_dir:
             entry["run_dir"] = rec.run_dir
             try:
@@ -278,6 +309,10 @@ def write_suite_manifest(
         "merged_span_tree": merge_span_trees(trees) if trees else None,
         "metrics": suite_metrics(tasks, records),
     }
+    if supervision is not None:
+        payload["supervision"] = supervision
+    if partial:
+        payload["partial"] = True
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, SUITE_MANIFEST_FILENAME)
     tmp = path + ".tmp"
@@ -300,6 +335,8 @@ def run_suite(
     verbose: bool = False,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    supervise: bool = True,
+    supervisor_options: Optional[SupervisorOptions] = None,
 ) -> List[RunRecord]:
     """Fan the designs x modes x seeds matrix out to ``jobs`` workers."""
     tasks = [
@@ -316,13 +353,17 @@ def run_suite(
         for mode in modes
         for seed in seeds
     ]
-    records = run_parallel(
+    records, supervision = run_tasks(
         tasks,
         jobs=jobs,
         verbose=verbose,
         use_cache=use_cache,
         cache_dir=cache_dir,
+        supervise=supervise,
+        supervisor_options=supervisor_options,
     )
     if telemetry_dir is not None:
-        write_suite_manifest(telemetry_dir, tasks, records, jobs)
+        write_suite_manifest(
+            telemetry_dir, tasks, records, jobs, supervision=supervision
+        )
     return records

@@ -67,8 +67,26 @@ class RunRecord:
     #: Design-bundle cache provenance for this run (``CacheInfo`` dict;
     #: ``None`` when the design was constructed without the cache).
     design_cache: Optional[Dict[str, object]] = None
+    #: Execution attempts the supervised suite runner spent on this task
+    #: (1 = first attempt succeeded; >1 = retried after a failure).
+    attempts: int = 1
+    #: Quarantine provenance when the task exhausted its retries
+    #: (``TaskOutcome`` dict with the failure taxonomy); None for runs
+    #: that produced real metrics.
+    quarantine: Optional[Dict[str, object]] = None
+
+    @property
+    def quarantined(self) -> bool:
+        """True for a placeholder record of a task that never succeeded."""
+        return self.quarantine is not None
 
     def summary(self) -> str:
+        if self.quarantined:
+            failure = (self.quarantine or {}).get("failure", "unknown")
+            return (
+                f"{self.design:<12} {self.mode:<10} QUARANTINED "
+                f"({failure} after {self.attempts} attempts)"
+            )
         return (
             f"{self.design:<12} {self.mode:<10} WNS={self.wns:9.1f} "
             f"TNS={self.tns:11.1f} HPWL={self.hpwl:10.1f} "
@@ -89,6 +107,7 @@ def run_mode(
     run_id: Optional[str] = None,
     sta_graph=None,
     design_cache: Optional[Dict[str, object]] = None,
+    supervision: Optional[Dict[str, object]] = None,
 ) -> RunRecord:
     """Run one of the three Table 3 placers on a design.
 
@@ -97,7 +116,9 @@ def run_mode(
     timing-aware placers (``ours``, ``netweight``) and the final golden
     STA all skip their per-run graph rebuild; results are bit-identical
     to a fresh build.  ``design_cache`` is the cache-provenance dict
-    stamped into the run's telemetry manifest and record.
+    stamped into the run's telemetry manifest and record;
+    ``supervision`` likewise stamps supervised-retry provenance
+    (``{"attempt": n, ...}``) when the suite supervisor re-ran the task.
 
     ``with_trace_sta`` adds periodic golden-STA samples to the trace (for
     Figure 8 curves); it is excluded from the reported runtime, which is
@@ -143,6 +164,8 @@ def run_mode(
         )
         if design_cache is not None:
             session.manifest.design_cache = dict(design_cache)
+        if supervision is not None:
+            session.manifest.supervision = dict(supervision)
 
     # The session enables the profiler itself (the manifest carries the
     # span tree); --profile without telemetry keeps the legacy behaviour.

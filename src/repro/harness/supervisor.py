@@ -1,0 +1,1035 @@
+"""Supervised process fan-out for the suite runner.
+
+:mod:`repro.harness.parallel` used to hand tasks to a bare
+``ProcessPoolExecutor``; one SIGKILL'd or hung worker then surfaced as a
+``BrokenProcessPool`` traceback and every completed run's results were
+discarded.  This module replaces that fan-out with a task-granular
+supervisor built directly on ``multiprocessing`` spawn workers:
+
+- **crash isolation** - each worker owns a duplex pipe; a dead worker
+  (SIGKILL, segfault) costs exactly its in-flight task, which is retried
+  on a freshly spawned replacement while every other worker keeps going;
+- **per-task wall-clock timeouts** - a hung worker is killed at
+  ``task_timeout`` seconds and its task retried (taxonomy ``timeout``);
+- **bounded retry with deterministic backoff** - failed tasks re-enter
+  the queue after an exponential-backoff delay with seeded jitter
+  (:meth:`SupervisorOptions.backoff_delay` is a pure function of
+  ``(seed, task_index, attempt)``, so retry schedules are reproducible);
+- **poisoned-task quarantine** - after ``max_retries`` retries a task is
+  quarantined with its failure taxonomy (``crash`` / ``timeout`` /
+  ``exception`` / ``cache-corrupt``) and the suite *completes*, salvaging
+  every other result;
+- **graceful degradation** - if workers cannot be (re)spawned the
+  remaining tasks run serially in-process (retry/quarantine still apply;
+  timeouts cannot preempt in-process tasks).
+
+Task execution is byte-identical to the legacy path: the same
+:func:`_execute_task` body runs in both, every task seeds its own run,
+and a zero-fault supervised suite produces the same records, metrics and
+manifests as an unsupervised one.  Supervisor outcomes stream to
+telemetry (``task_retry`` / ``task_quarantine`` / ``worker_respawn``
+events, written lazily so zero-fault runs add no files) and into the
+suite manifest's ``supervision`` provenance.
+
+This is the **only** module allowed to construct process pools
+(reprolint rule ``supervised-pool-only``): the legacy unsupervised
+executor fan-out lives here too (:func:`run_pool_unsupervised`), kept as
+the byte-identity reference and wrapped so its raw failures surface as
+typed :class:`SupervisorError`\\ s with completed results salvaged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.objective import TimingObjectiveOptions
+from ..netlist.cache import load_bundle
+from ..perf import PROFILER
+from ..place.placer import PlacerOptions
+from ..runtime.faults import BundleCorruptionError, maybe_inject_process_fault
+from ..telemetry.events import MetricsRecorder
+from .runners import RunRecord, run_mode
+from .suite import design_spec, load_design
+
+__all__ = [
+    "FAILURE_KINDS",
+    "SupervisorError",
+    "TaskFailedError",
+    "PoolBrokenError",
+    "SupervisorOptions",
+    "TaskAttempt",
+    "TaskOutcome",
+    "SupervisedResult",
+    "SuiteTask",
+    "run_supervised",
+    "run_pool_unsupervised",
+]
+
+#: The supervisor's failure taxonomy, as recorded in outcomes/manifests.
+FAILURE_KINDS = ("crash", "timeout", "exception", "cache-corrupt")
+
+#: Filename of the lazily created suite-level supervisor event stream.
+SUPERVISOR_EVENTS_FILENAME = "supervisor_events.jsonl"
+
+#: True inside a spawned suite worker process (set by the worker entry
+#: points); gates the process-killing fault injections.
+_IN_WORKER = False
+
+
+# ----------------------------------------------------------------------
+# Typed error hierarchy (satellite: no raw BrokenProcessPool/TimeoutError
+# reaches the CLI).
+# ----------------------------------------------------------------------
+class SupervisorError(RuntimeError):
+    """A suite execution failure with enough context for a one-line report.
+
+    ``completed`` carries every ``(task_index, RunRecord)`` that finished
+    before the failure, so callers can salvage a partial suite manifest
+    instead of discarding finished work.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failure: str = "exception",
+        task_index: Optional[int] = None,
+        run_id: Optional[str] = None,
+        attempts: int = 1,
+        completed: Sequence[Tuple[int, RunRecord]] = (),
+    ) -> None:
+        super().__init__(message)
+        self.failure = failure
+        self.task_index = task_index
+        self.run_id = run_id
+        self.attempts = attempts
+        self.completed = list(completed)
+        #: Filled in by the salvage path with the partial manifest path.
+        self.partial_manifest: Optional[str] = None
+
+    def summary(self) -> str:
+        """One actionable line: which task, which failure, how many tries."""
+        where = self.run_id if self.run_id else "suite"
+        line = (
+            f"{type(self).__name__}: task {where} failed "
+            f"({self.failure}) after {self.attempts} attempt(s): {self}"
+        )
+        if self.completed:
+            line += f" [{len(self.completed)} completed run(s) salvaged]"
+        return line
+
+
+class TaskFailedError(SupervisorError):
+    """One task failed terminally (unsupervised path, or aborted suite)."""
+
+
+class PoolBrokenError(SupervisorError):
+    """The worker pool died and could not be used or rebuilt."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("failure", "crash")
+        super().__init__(message, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Options / outcome records
+# ----------------------------------------------------------------------
+@dataclass
+class SupervisorOptions:
+    """Retry/timeout/backoff policy of one supervised suite run."""
+
+    #: Per-task wall-clock timeout in seconds; None/0 disables (a hung
+    #: worker then blocks its slot forever - set a timeout whenever task
+    #: runtimes are bounded and predictable).
+    task_timeout: Optional[float] = None
+    #: Retries after the first attempt before quarantine (total attempts
+    #: = ``max_retries + 1``).
+    max_retries: int = 2
+    #: First retry delay in seconds (exponential growth per attempt).
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    #: Seed of the backoff jitter; schedules are a pure function of
+    #: ``(backoff_seed, task_index, attempt)``.
+    backoff_seed: int = 0
+
+    def backoff_delay(self, task_index: int, attempt: int) -> float:
+        """Deterministic retry delay before attempt ``attempt + 1``."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(attempt - 1, 0),
+        )
+        rng = np.random.default_rng(
+            (self.backoff_seed, int(task_index), int(attempt))
+        )
+        # +/-20% seeded jitter decorrelates retry bursts across tasks.
+        return float(base * (0.8 + 0.4 * rng.random()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task_timeout_s": self.task_timeout,
+            "max_retries": self.max_retries,
+            "backoff_base_s": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "backoff_max_s": self.backoff_max,
+            "backoff_seed": self.backoff_seed,
+        }
+
+
+@dataclass
+class TaskAttempt:
+    """One failed attempt of one task."""
+
+    attempt: int
+    failure: str  # one of FAILURE_KINDS
+    error: str
+    retry_delay_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "failure": self.failure,
+            "error": self.error,
+            "retry_delay_s": self.retry_delay_s,
+        }
+
+
+@dataclass
+class TaskOutcome:
+    """Supervision history of one task (attempts, failures, quarantine)."""
+
+    index: int
+    run_id: str
+    attempts: int = 0
+    #: Failure kind the task was quarantined with, or None on success.
+    quarantined: Optional[str] = None
+    failures: List[TaskAttempt] = field(default_factory=list)
+
+    @property
+    def eventful(self) -> bool:
+        return bool(self.failures) or self.quarantined is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "run_id": self.run_id,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+@dataclass
+class SupervisedResult:
+    """Everything a supervised fan-out produced."""
+
+    records: List[RunRecord]
+    outcomes: List[TaskOutcome]
+    options: SupervisorOptions
+    worker_respawns: int = 0
+    degraded_to_serial: bool = False
+
+    @property
+    def quarantined(self) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if o.quarantined is not None]
+
+    @property
+    def eventful(self) -> bool:
+        """True when supervision actually intervened (retry, quarantine,
+        respawn, or serial degradation) - fault-free runs stay False so
+        their output remains byte-identical to unsupervised runs."""
+        return (
+            self.worker_respawns > 0
+            or self.degraded_to_serial
+            or any(o.eventful for o in self.outcomes)
+        )
+
+    def supervision_dict(self) -> Dict[str, Any]:
+        """Suite-manifest ``supervision`` provenance (deterministic)."""
+        return {
+            "enabled": True,
+            "options": self.options.to_dict(),
+            "worker_respawns": self.worker_respawns,
+            "degraded_to_serial": self.degraded_to_serial,
+            "retries": sum(len(o.failures) for o in self.outcomes)
+            - len(self.quarantined),
+            "quarantined": [o.run_id for o in self.quarantined],
+            "tasks": [o.to_dict() for o in self.outcomes if o.eventful],
+        }
+
+
+# ----------------------------------------------------------------------
+# Task definition + execution body (shared by every execution path)
+# ----------------------------------------------------------------------
+@dataclass
+class SuiteTask:
+    """One self-contained (design, mode, seed) placement run."""
+
+    design: str
+    mode: str
+    seed: int = 0
+    max_iters: int = 600
+    checkpoint_every: int = 0
+    rsmt_period: Optional[int] = None
+    rsmt_dirty_threshold: Optional[float] = None
+    telemetry_dir: Optional[str] = None
+    profile: bool = False
+    with_trace_sta: bool = False
+    extra_placer_options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def run_id(self) -> str:
+        """Deterministic telemetry run id (no timestamp/pid component)."""
+        return f"{self.design}_{self.mode}_s{self.seed}"
+
+    def timing_options(self) -> Optional[TimingObjectiveOptions]:
+        if self.rsmt_period is None and self.rsmt_dirty_threshold is None:
+            return None
+        opts = TimingObjectiveOptions()
+        if self.rsmt_period is not None:
+            opts.rsmt_period = self.rsmt_period
+        opts.rsmt_dirty_threshold = self.rsmt_dirty_threshold
+        return opts
+
+
+def _execute_task(
+    task: SuiteTask,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    task_index: int = 0,
+    attempt: int = 1,
+) -> RunRecord:
+    """Worker body: run one task and attach its profiler span tree.
+
+    With ``use_cache`` the design (and its prebuilt timing graph) comes
+    from the bundle cache: in a warm worker the per-process memo serves
+    it with zero disk traffic, so ``setup_s`` collapses to microseconds
+    after the first task.  Without, the legacy cold path regenerates the
+    design from scratch - kept as the benchmark baseline and as a
+    cross-check that cached runs are bit-identical.
+
+    ``task_index``/``attempt`` feed the process-level fault injections
+    (fired mid-task, after design setup) and stamp retry provenance into
+    the run's telemetry manifest on attempts past the first.
+    """
+    t0 = time.perf_counter()
+    graph = None
+    cache_info = None
+    if use_cache:
+        bundle, info = load_bundle(design_spec(task.design), cache_dir)
+        design = bundle.design
+        graph = bundle.graph
+        cache_info = info.to_dict()
+    else:
+        design = load_design(task.design)
+    setup_s = time.perf_counter() - t0
+    maybe_inject_process_fault(
+        task_index,
+        attempt,
+        in_worker=_IN_WORKER,
+        bundle_path=cache_info["path"] if cache_info else None,
+    )
+    record = run_mode(
+        design,
+        task.mode,
+        placer_options=PlacerOptions(
+            max_iters=task.max_iters,
+            seed=task.seed,
+            checkpoint_every=task.checkpoint_every,
+            **task.extra_placer_options,
+        ),
+        timing_options=task.timing_options(),
+        with_trace_sta=task.with_trace_sta,
+        profile=task.profile,
+        telemetry_dir=task.telemetry_dir,
+        run_id=task.run_id if task.telemetry_dir else None,
+        sta_graph=graph,
+        design_cache=cache_info,
+        supervision={"attempt": attempt} if attempt > 1 else None,
+    )
+    record.setup_s = setup_s
+    record.attempts = attempt
+    if task.profile or task.telemetry_dir:
+        record.span_tree = PROFILER.tree()
+    return record
+
+
+def _preload_designs(cache_dir: Optional[str], names: Sequence[str]) -> None:
+    """Warm a fresh worker: load every task design bundle once."""
+    for name in names:
+        try:
+            load_bundle(design_spec(name), cache_dir)
+        except Exception:
+            # A failed preload is not fatal: the task that needs the
+            # design will surface (and retry) the real error.
+            pass
+
+
+def _classify_exception(exc: BaseException) -> str:
+    """Map a task exception onto the supervisor failure taxonomy."""
+    if isinstance(exc, BundleCorruptionError):
+        return "cache-corrupt"
+    return "exception"
+
+
+def _one_line(exc: BaseException) -> str:
+    text = " ".join(str(exc).split())
+    return f"{type(exc).__name__}: {text}" if text else type(exc).__name__
+
+
+def quarantined_record(task: SuiteTask, outcome: TaskOutcome) -> RunRecord:
+    """Placeholder record keeping quarantined tasks aligned with results."""
+    return RunRecord(
+        design=task.design,
+        mode=task.mode,
+        wns=float("nan"),
+        tns=float("nan"),
+        hpwl=float("nan"),
+        runtime=0.0,
+        iterations=0,
+        stop_reason=f"quarantined:{outcome.quarantined}",
+        x=np.empty(0),
+        y=np.empty(0),
+        attempts=outcome.attempts,
+        quarantine=outcome.to_dict(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Supervised worker process
+# ----------------------------------------------------------------------
+def _worker_main(
+    conn,
+    use_cache: bool,
+    cache_dir: Optional[str],
+    names: Tuple[str, ...],
+) -> None:
+    """Spawned-worker loop: warm up, then execute tasks until told to stop.
+
+    Replies ``("ok", index, record)`` or ``("exc", index, kind, error)``;
+    a crash (SIGKILL, hard fault) simply drops the pipe, which the parent
+    observes as EOF.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    if use_cache:
+        _preload_designs(cache_dir, names)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away
+        if message[0] == "stop":
+            return
+        _, index, attempt, task = message
+        try:
+            record = _execute_task(
+                task, use_cache, cache_dir, task_index=index, attempt=attempt
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded, not hidden
+            conn.send(("exc", index, _classify_exception(exc), _one_line(exc)))
+        else:
+            conn.send(("ok", index, record))
+
+
+class _Worker:
+    """Parent-side handle of one supervised worker process."""
+
+    __slots__ = ("process", "conn", "task_index", "attempt", "deadline")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.task_index: Optional[int] = None
+        self.attempt = 0
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task_index is not None
+
+    def assign(
+        self, index: int, attempt: int, task: SuiteTask, timeout: Optional[float]
+    ) -> None:
+        self.task_index = index
+        self.attempt = attempt
+        self.deadline = (
+            time.monotonic() + timeout if timeout and timeout > 0 else None
+        )
+        self.conn.send(("task", index, attempt, task))
+
+    def release(self) -> None:
+        self.task_index = None
+        self.attempt = 0
+        self.deadline = None
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        try:
+            if self.process.is_alive():
+                self.conn.send(("stop",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout)
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+        except (OSError, ValueError):
+            pass
+        self.process.join(5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def _spawn_worker(
+    ctx, use_cache: bool, cache_dir: Optional[str], names: Sequence[str]
+) -> _Worker:
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(
+        target=_worker_main,
+        args=(child_conn, use_cache, cache_dir, tuple(names)),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    return _Worker(process, parent_conn)
+
+
+# ----------------------------------------------------------------------
+# Lazy suite-level telemetry (no file unless an event actually happens,
+# keeping zero-fault supervised runs byte-identical on disk).
+# ----------------------------------------------------------------------
+class _SupervisorTelemetry:
+    def __init__(self, directory: Optional[str]) -> None:
+        self.directory = directory
+        self._recorder: Optional[MetricsRecorder] = None
+
+    def event(self, kind: str, **fields: Any) -> None:
+        if self.directory is None:
+            return
+        if self._recorder is None:
+            self._recorder = MetricsRecorder(
+                os.path.join(self.directory, SUPERVISOR_EVENTS_FILENAME)
+            )
+        self._recorder.event(kind, **fields)
+
+    def close(self) -> None:
+        if self._recorder is not None:
+            self._recorder.close()
+
+
+# ----------------------------------------------------------------------
+# The supervisor proper
+# ----------------------------------------------------------------------
+class _Supervisor:
+    """State machine of one supervised fan-out."""
+
+    def __init__(
+        self,
+        tasks: Sequence[SuiteTask],
+        jobs: int,
+        options: SupervisorOptions,
+        verbose: bool,
+        use_cache: bool,
+        cache_dir: Optional[str],
+    ) -> None:
+        self.tasks = list(tasks)
+        self.jobs = jobs
+        self.options = options
+        self.verbose = verbose
+        self.use_cache = use_cache
+        self.cache_dir = cache_dir
+        self.names: List[str] = []
+        for task in self.tasks:
+            if task.design not in self.names:
+                self.names.append(task.design)
+        n = len(self.tasks)
+        self.results: List[Optional[RunRecord]] = [None] * n
+        self.outcomes = [
+            TaskOutcome(index=i, run_id=t.run_id)
+            for i, t in enumerate(self.tasks)
+        ]
+        self.pending = deque(range(n))
+        self.retries: List[Tuple[float, int]] = []  # (ready_at, index) heap
+        self.done = 0
+        self.emitted = 0
+        self.worker_respawns = 0
+        self.degraded = False
+        self.telemetry = _SupervisorTelemetry(
+            next(
+                (t.telemetry_dir for t in self.tasks if t.telemetry_dir), None
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SupervisedResult:
+        try:
+            if self.jobs <= 1 or len(self.tasks) <= 1:
+                self._run_serial(list(self.pending))
+                self.pending.clear()
+            else:
+                self._run_pool()
+            return SupervisedResult(
+                records=[r for r in self.results if r is not None],
+                outcomes=self.outcomes,
+                options=self.options,
+                worker_respawns=self.worker_respawns,
+                degraded_to_serial=self.degraded,
+            )
+        finally:
+            self.telemetry.close()
+
+    def records_in_task_order(self) -> List[RunRecord]:
+        out: List[RunRecord] = []
+        for index, record in enumerate(self.results):
+            if record is None:  # pragma: no cover - defensive
+                record = quarantined_record(
+                    self.tasks[index], self.outcomes[index]
+                )
+            out.append(record)
+        return out
+
+    # ------------------------------------------------------------------
+    # Parallel path
+    # ------------------------------------------------------------------
+    def _run_pool(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        workers: List[_Worker] = []
+        target = min(self.jobs, len(self.tasks))
+        try:
+            for _ in range(target):
+                workers.append(self._respawn(ctx, initial=True))
+        except Exception as exc:
+            for worker in workers:
+                worker.shutdown()
+            self._degrade(f"worker pool could not be built: {_one_line(exc)}")
+            return
+
+        try:
+            while self.done < len(self.tasks):
+                self._dispatch(ctx, workers)
+                busy = [w for w in workers if w.busy]
+                if not busy:
+                    if not self.pending and not self.retries:
+                        break  # pragma: no cover - defensive
+                    self._sleep_until_retry_ready()
+                    continue
+                timeout = self._wait_timeout(busy)
+                ready = mp_connection.wait(
+                    [w.conn for w in busy], timeout=timeout
+                )
+                now = time.monotonic()
+                by_conn = {w.conn: w for w in busy}
+                for conn in ready:
+                    self._drain_worker(ctx, workers, by_conn[conn], now)
+                for worker in list(workers):
+                    if (
+                        worker.busy
+                        and worker.deadline is not None
+                        and time.monotonic() >= worker.deadline
+                    ):
+                        self._timeout_worker(ctx, workers, worker)
+        except _DegradedToSerial as exc:
+            for worker in workers:
+                worker.kill()
+            workers = []
+            self._degrade(str(exc))
+        finally:
+            for worker in workers:
+                worker.shutdown()
+
+    def _respawn(self, ctx, initial: bool = False) -> _Worker:
+        worker = _spawn_worker(ctx, self.use_cache, self.cache_dir, self.names)
+        if not initial:
+            self.worker_respawns += 1
+        return worker
+
+    def _dispatch(self, ctx, workers: List[_Worker]) -> None:
+        now = time.monotonic()
+        for worker in list(workers):
+            if worker.busy:
+                continue
+            index = self._next_ready(now)
+            if index is None:
+                return
+            outcome = self.outcomes[index]
+            outcome.attempts += 1
+            try:
+                worker.assign(
+                    index,
+                    outcome.attempts,
+                    self.tasks[index],
+                    self.options.task_timeout,
+                )
+            except (OSError, ValueError):
+                # The worker died while idle: the task never ran, so it
+                # goes back to the front of the queue uncharged.
+                outcome.attempts -= 1
+                worker.release()
+                self.pending.appendleft(index)
+                worker.kill()
+                workers.remove(worker)
+                try:
+                    workers.append(self._respawn(ctx))
+                except Exception as exc:
+                    raise _DegradedToSerial(
+                        f"worker respawn failed: {_one_line(exc)}"
+                    )
+
+    def _next_ready(self, now: float) -> Optional[int]:
+        if self.retries and self.retries[0][0] <= now:
+            return heapq.heappop(self.retries)[1]
+        if self.pending:
+            return self.pending.popleft()
+        return None
+
+    def _wait_timeout(self, busy: List[_Worker]) -> Optional[float]:
+        now = time.monotonic()
+        bounds = [
+            w.deadline - now for w in busy if w.deadline is not None
+        ]
+        if self.retries:
+            bounds.append(self.retries[0][0] - now)
+        if not bounds:
+            return None
+        return max(min(bounds), 0.0)
+
+    def _sleep_until_retry_ready(self) -> None:
+        now = time.monotonic()
+        delay = max(self.retries[0][0] - now, 0.0) if self.retries else 0.01
+        time.sleep(min(delay + 0.001, 0.25))
+
+    def _drain_worker(
+        self, ctx, workers: List[_Worker], worker: _Worker, now: float
+    ) -> None:
+        index = worker.task_index
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            # The worker died mid-task: respawn it, retry only its task.
+            pid = worker.process.pid
+            worker.kill()
+            workers.remove(worker)
+            if index is not None:
+                self._register_failure(
+                    index, "crash", f"worker pid {pid} died mid-task"
+                )
+                self.telemetry.event(
+                    "worker_respawn",
+                    pid=pid,
+                    run_id=self.tasks[index].run_id,
+                    failure="crash",
+                )
+            if self.pending or self.retries:
+                try:
+                    workers.append(self._respawn(ctx))
+                except Exception as exc:
+                    raise _DegradedToSerial(
+                        f"worker respawn failed: {_one_line(exc)}"
+                    )
+            return
+        kind = message[0]
+        if kind == "ok":
+            _, index, record = message
+            record.attempts = self.outcomes[index].attempts
+            self._register_success(index, record)
+        elif kind == "exc":
+            _, index, failure, error = message
+            self._register_failure(index, failure, error)
+        worker.release()
+
+    def _timeout_worker(
+        self, ctx, workers: List[_Worker], worker: _Worker
+    ) -> None:
+        index = worker.task_index
+        pid = worker.process.pid
+        worker.kill()
+        workers.remove(worker)
+        if index is not None:
+            self._register_failure(
+                index,
+                "timeout",
+                f"task exceeded {self.options.task_timeout:.1f}s wall-clock "
+                f"timeout (worker pid {pid} killed)",
+            )
+            self.telemetry.event(
+                "worker_respawn",
+                pid=pid,
+                run_id=self.tasks[index].run_id,
+                failure="timeout",
+            )
+        if self.pending or self.retries:
+            try:
+                workers.append(self._respawn(ctx))
+            except Exception as exc:
+                raise _DegradedToSerial(
+                    f"worker respawn failed: {_one_line(exc)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Serial (degraded / jobs<=1) path
+    # ------------------------------------------------------------------
+    def _degrade(self, reason: str) -> None:
+        self.degraded = True
+        if self.verbose:
+            print(f"supervisor: degrading to serial execution ({reason})")
+        remaining = sorted(
+            set(self.pending)
+            | {index for _, index in self.retries}
+            | {
+                i
+                for i in range(len(self.tasks))
+                if self.results[i] is None
+                and self.outcomes[i].quarantined is None
+            }
+        )
+        self.pending.clear()
+        self.retries = []
+        self._run_serial(remaining)
+
+    def _run_serial(self, indices: Sequence[int]) -> None:
+        for index in indices:
+            outcome = self.outcomes[index]
+            while True:
+                outcome.attempts += 1
+                try:
+                    record = _execute_task(
+                        self.tasks[index],
+                        self.use_cache,
+                        self.cache_dir,
+                        task_index=index,
+                        attempt=outcome.attempts,
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    retrying = self._register_failure(
+                        index, _classify_exception(exc), _one_line(exc)
+                    )
+                    if not retrying:
+                        break
+                    # Honour the deterministic backoff schedule in-process.
+                    time.sleep(outcome.failures[-1].retry_delay_s)
+                else:
+                    self._register_success(index, record)
+                    break
+
+    # ------------------------------------------------------------------
+    # Outcome bookkeeping (shared by both paths)
+    # ------------------------------------------------------------------
+    def _register_success(self, index: int, record: RunRecord) -> None:
+        self.results[index] = record
+        self.done += 1
+        self._flush_verbose()
+
+    def _register_failure(
+        self, index: int, failure: str, error: str
+    ) -> bool:
+        """Record one failed attempt; True when the task will be retried."""
+        outcome = self.outcomes[index]
+        task = self.tasks[index]
+        if outcome.attempts > self.options.max_retries:
+            outcome.failures.append(
+                TaskAttempt(
+                    attempt=outcome.attempts, failure=failure, error=error
+                )
+            )
+            outcome.quarantined = failure
+            self.results[index] = quarantined_record(task, outcome)
+            self.done += 1
+            self.telemetry.event(
+                "task_quarantine",
+                run_id=task.run_id,
+                task_index=index,
+                attempts=outcome.attempts,
+                failure=failure,
+                error=error,
+            )
+            self._flush_verbose()
+            return False
+        delay = self.options.backoff_delay(index, outcome.attempts)
+        outcome.failures.append(
+            TaskAttempt(
+                attempt=outcome.attempts,
+                failure=failure,
+                error=error,
+                retry_delay_s=delay,
+            )
+        )
+        heapq.heappush(self.retries, (time.monotonic() + delay, index))
+        self.telemetry.event(
+            "task_retry",
+            run_id=task.run_id,
+            task_index=index,
+            attempt=outcome.attempts,
+            failure=failure,
+            error=error,
+            delay_s=delay,
+        )
+        if self.verbose:
+            print(
+                f"supervisor: retrying {task.run_id} "
+                f"(attempt {outcome.attempts} {failure}: {error})"
+            )
+        return True
+
+    def _flush_verbose(self) -> None:
+        """Print finished records in task order, independent of scheduling."""
+        while (
+            self.emitted < len(self.results)
+            and self.results[self.emitted] is not None
+        ):
+            if self.verbose:
+                print(self.results[self.emitted].summary())
+            self.emitted += 1
+
+
+class _DegradedToSerial(Exception):
+    """Internal control flow: the pool is unrecoverable, finish serially."""
+
+
+def run_supervised(
+    tasks: Sequence[SuiteTask],
+    jobs: int = 1,
+    options: Optional[SupervisorOptions] = None,
+    verbose: bool = False,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> Tuple[List[RunRecord], SupervisedResult]:
+    """Run tasks under supervision; returns task-ordered records + outcome.
+
+    Records are aligned with ``tasks``; a quarantined task contributes a
+    placeholder record (``stop_reason="quarantined:<kind>"``, NaN
+    metrics, ``quarantine`` provenance) so downstream zips keep working.
+    The suite always completes - only ``KeyboardInterrupt``/``SystemExit``
+    escape.
+    """
+    supervisor = _Supervisor(
+        tasks,
+        jobs=jobs,
+        options=options if options is not None else SupervisorOptions(),
+        verbose=verbose,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+    )
+    try:
+        result = supervisor.run()
+    except (KeyboardInterrupt, SystemExit, SupervisorError):
+        raise
+    except Exception as exc:
+        # A failure of the supervisor itself (not of a task): salvage
+        # whatever completed before surfacing it as a typed error.
+        raise SupervisorError(
+            _one_line(exc),
+            completed=[
+                (i, r)
+                for i, r in enumerate(supervisor.results)
+                if r is not None
+            ],
+        ) from exc
+    return supervisor.records_in_task_order(), result
+
+
+# ----------------------------------------------------------------------
+# Legacy unsupervised executor fan-out (byte-identity reference)
+# ----------------------------------------------------------------------
+def _pool_worker_init(cache_dir: Optional[str], names: Sequence[str]) -> None:
+    """Unsupervised-pool initializer: mark the worker + warm the designs."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    _preload_designs(cache_dir, names)
+
+
+def run_pool_unsupervised(
+    tasks: Sequence[SuiteTask],
+    jobs: int,
+    verbose: bool = False,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[RunRecord]:
+    """The pre-supervisor ``ProcessPoolExecutor`` fan-out (``--no-supervise``).
+
+    No retries, no timeouts, no crash isolation: the first failure aborts
+    the suite.  But raw ``BrokenProcessPool``/task tracebacks no longer
+    escape - failures are wrapped in the typed :class:`SupervisorError`
+    hierarchy with every already-completed record attached for salvage.
+    """
+    tasks = list(tasks)
+    names: List[str] = []
+    for task in tasks:
+        if task.design not in names:
+            names.append(task.design)
+    ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)),
+        mp_context=ctx,
+        initializer=_pool_worker_init,
+        initargs=(cache_dir, tuple(names) if use_cache else ()),
+    ) as pool:
+        futures = [
+            pool.submit(_execute_task, task, use_cache, cache_dir, i, 1)
+            for i, task in enumerate(tasks)
+        ]
+        records: List[RunRecord] = []
+        # Ordered collection: wait for tasks in submission order so the
+        # output (and any verbose printing) is independent of scheduling.
+        for index, future in enumerate(futures):
+            try:
+                record = future.result()
+            except BaseException as exc:
+                # Salvage everything that can still finish: cancel tasks
+                # not yet started, drain the in-flight ones (a task
+                # exception leaves the pool alive; a broken pool makes
+                # every remaining future fail instantly).
+                completed = list(enumerate(records))
+                for later in range(index + 1, len(futures)):
+                    f = futures[later]
+                    if f.cancel():
+                        continue
+                    try:
+                        completed.append((later, f.result()))
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException:
+                        pass
+                if isinstance(exc, BrokenProcessPool):
+                    raise PoolBrokenError(
+                        "a worker process died; run with supervision "
+                        "(drop --no-supervise) to isolate and retry the "
+                        "failed task",
+                        task_index=index,
+                        run_id=tasks[index].run_id,
+                        completed=completed,
+                    ) from exc
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                raise TaskFailedError(
+                    _one_line(exc),
+                    failure=_classify_exception(exc),
+                    task_index=index,
+                    run_id=tasks[index].run_id,
+                    completed=completed,
+                ) from exc
+            records.append(record)
+            if verbose:
+                print(record.summary())
+    return records

@@ -23,9 +23,12 @@ from .checkpoint import (
 )
 from .faults import (
     ENV_VAR as FAULT_ENV_VAR,
+    BundleCorruptionError,
     FaultInjectionError,
     FaultInjector,
     FaultSpec,
+    ProcessFaultSpec,
+    maybe_inject_process_fault,
 )
 from .guard import NumericalGuard
 from .validate import (
@@ -42,9 +45,12 @@ __all__ = [
     "load_checkpoint",
     "save_checkpoint",
     "FAULT_ENV_VAR",
+    "BundleCorruptionError",
     "FaultInjectionError",
     "FaultInjector",
     "FaultSpec",
+    "ProcessFaultSpec",
+    "maybe_inject_process_fault",
     "NumericalGuard",
     "DesignValidationError",
     "ValidationIssue",

@@ -42,6 +42,13 @@ kind               extra fields
 ``run_end``        ``stop_reason``, ``iterations``, ``hpwl``,
                    ``overflow``, ``recoveries``,
                    ``quarantined_iterations``, ``nonfinite_events``
+``task_retry``     ``run_id``, ``task_index``, ``attempt``,
+                   ``failure`` (supervisor taxonomy kind), ``error``,
+                   ``delay_s`` (suite supervisor; iteration is null)
+``task_quarantine`` ``run_id``, ``task_index``, ``attempts``,
+                   ``failure``, ``error`` (task exhausted its retries)
+``worker_respawn`` ``pid`` (dead worker), ``run_id`` (in-flight task),
+                   ``failure`` (why the worker died)
 ``note``           free-form ``message``
 =================  ====================================================
 
@@ -91,6 +98,9 @@ EVENT_KINDS = (
     "checkpoint",
     "incremental",
     "run_end",
+    "task_retry",
+    "task_quarantine",
+    "worker_respawn",
     "note",
 )
 

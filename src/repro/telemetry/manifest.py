@@ -101,6 +101,11 @@ class RunManifest:
     #: Design-bundle cache provenance (key, hit/miss, setup seconds) when
     #: the run's design came from :mod:`repro.netlist.cache`.
     design_cache: Optional[Dict[str, Any]] = None
+    #: Supervised-execution provenance (``{"attempt": n, ...}``) stamped
+    #: when the suite supervisor re-ran this task after a failure; None
+    #: for first-attempt (zero-fault) runs, keeping them byte-comparable
+    #: with unsupervised output.
+    supervision: Optional[Dict[str, Any]] = None
 
     @classmethod
     def create(

@@ -549,3 +549,42 @@ class TestProvenanceAndTelemetry:
         with pytest.raises(ValueError, match="did you mean 'recovery'"):
             rec.event("recovry")
         rec.close()
+
+
+class TestSupervisedPoolOnly:
+    def test_flags_bare_pool_construction(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                    "import concurrent.futures as cf\n"
+                    "def fan_out(tasks):\n"
+                    "    with ProcessPoolExecutor(max_workers=2) as pool:\n"
+                    "        pass\n"
+                    "    pool2 = cf.ProcessPoolExecutor()\n"
+                ),
+            },
+        )
+        found = findings_of(run_analysis(root), "supervised-pool-only")
+        assert len(found) == 2
+        assert "repro.harness.supervisor" in found[0].message
+
+    def test_supervisor_module_and_tests_exempt(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/harness/supervisor.py": (
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                    "def legacy(tasks):\n"
+                    "    return ProcessPoolExecutor(max_workers=2)\n"
+                ),
+                "tests/test_pool.py": (
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                    "def test_pool():\n"
+                    "    assert ProcessPoolExecutor(max_workers=1)\n"
+                ),
+            },
+        )
+        report = run_analysis(root)
+        assert findings_of(report, "supervised-pool-only") == []
