@@ -41,8 +41,10 @@ import time
 from repro.harness.parallel import SuiteTask, run_parallel, suite_metrics
 from repro.harness.suite import design_spec
 from repro.netlist.cache import clear_memo, ensure_cached
+from repro.telemetry.history import append_record
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+HISTORY_DIR = os.path.join(os.path.dirname(__file__), "history")
 
 
 def _run_pass(tasks, jobs, use_cache, cache_dir):
@@ -105,6 +107,11 @@ def main(argv=None) -> int:
         help="fail if summed setup exceeds this fraction of parallel wall",
     )
     parser.add_argument("--cache-dir", default=None)
+    parser.add_argument(
+        "--history",
+        default=HISTORY_DIR,
+        help="perf-ledger directory for `trend` (empty string disables)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs not in args.jobs_curve:
@@ -202,6 +209,20 @@ def main(argv=None) -> int:
         f"cold {serial_s:.2f}s vs warm jobs={args.jobs} {parallel_s:.2f}s "
         f"-> {speedup:.2f}x (metrics identical={identical}) -> {out}"
     )
+
+    if args.history:
+        append_record(
+            "placer_suite",
+            {
+                "speedup": speedup,
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "setup_frac": setup_frac,
+            },
+            gates={"speedup": "higher"},
+            history_dir=args.history,
+        )
+        print(f"history: appended placer_suite record under {args.history}")
 
     failed = False
     if not identical:

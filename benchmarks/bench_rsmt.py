@@ -28,8 +28,10 @@ import numpy as np
 from repro.harness.suite import load_design
 from repro.perf import PROFILER
 from repro.route.rsmt import build_forest
+from repro.telemetry.history import append_record
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+HISTORY_DIR = os.path.join(os.path.dirname(__file__), "history")
 
 
 def _forests_equal(a, b) -> bool:
@@ -70,6 +72,11 @@ def main(argv=None) -> int:
         help="fail when batched/scalar speedup is below this",
     )
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--history",
+        default=HISTORY_DIR,
+        help="perf-ledger directory for `trend` (empty string disables)",
+    )
     args = parser.parse_args(argv)
 
     design = load_design(args.design)
@@ -123,6 +130,18 @@ def main(argv=None) -> int:
         f"batched {batched_s * 1e3:.1f} ms -> {speedup:.2f}x "
         f"(identical={identical}) -> {out}"
     )
+    if args.history:
+        append_record(
+            "rsmt_forest",
+            {
+                "speedup": speedup,
+                "scalar_s": scalar_s,
+                "batched_s": batched_s,
+            },
+            gates={"speedup": "higher"},
+            history_dir=args.history,
+        )
+        print(f"history: appended rsmt_forest record under {args.history}")
     if not identical:
         print("FAIL: batched forest differs from scalar forest")
         return 1

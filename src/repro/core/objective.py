@@ -25,6 +25,7 @@ from ..route.rsmt import (
 from ..route.tree import Forest
 from ..sta.graph import TimingGraph
 from ..telemetry.events import current_recorder
+from ..telemetry.registry import current_heartbeat
 from .difftimer import DifferentiableTimer
 
 __all__ = ["TimingObjectiveOptions", "TimingObjective"]
@@ -155,6 +156,13 @@ class TimingObjective:
     def _full_rebuild(
         self, cell_x: np.ndarray, cell_y: np.ndarray, iteration: int
     ) -> None:
+        heartbeat = current_heartbeat()
+        if heartbeat is not None:
+            # A full forest rebuild is the longest single stage inside an
+            # iteration; stamping it lets `status` distinguish "hung in
+            # rsmt_rebuild" from a stalled gradient step.  The placer
+            # loop restores phase="place" on its next beat.
+            heartbeat.update(phase="rsmt_rebuild", iteration=iteration)
         px, py = self.design.pin_positions(cell_x, cell_y)
         # reprolint: allow[checkpoint-completeness] rebuilt by set_state from the stored built_pin_coords
         self._forest = build_forest_from_pins(self.design, px, py)
@@ -212,6 +220,9 @@ class TimingObjective:
             self._full_rebuild(cell_x, cell_y, iteration)
             self._iters_since_rsmt = 0
         else:
+            heartbeat = current_heartbeat()
+            if heartbeat is not None:
+                heartbeat.update(phase="rsmt_rebuild", iteration=iteration)
             trees = build_trees_for_nets(design, px, py, dirty.tolist())
             self._forest = self._forest.splice(trees)
             pins = np.concatenate([design.net_pins(ni) for ni in dirty])

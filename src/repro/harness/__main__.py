@@ -17,6 +17,12 @@ Telemetry toolchain (subcommands)::
         --telemetry out/                    # one instrumented run
     python -m repro.harness report out/<run_id>       # markdown + curves
     python -m repro.harness compare out/<a> out/<b>   # regression gate
+
+Live observability::
+
+    python -m repro.harness status out/     # who is running right now
+    python -m repro.harness tail out/ --run <run_id>  # follow convergence
+    python -m repro.harness trend           # perf-regression ledger gate
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from .suite import format_table2, load_design
 from .table3 import format_table3, run_table3
 
 #: Subcommand names; anything else falls through to the legacy flag CLI.
-_SUBCOMMANDS = ("run", "report", "compare", "suite")
+_SUBCOMMANDS = ("run", "report", "compare", "suite", "status", "tail", "trend")
 
 
 def _run_validate(designs) -> int:
@@ -96,6 +102,7 @@ def _cmd_run(args) -> int:
         ),
         timing_options=_timing_options(args),
         profile=args.profile,
+        collect_spans=bool(args.trace_out),
         telemetry_dir=args.telemetry,
         run_id=args.run_id,
     )
@@ -104,6 +111,17 @@ def _cmd_run(args) -> int:
         print(f"guard events: {record.nonfinite_events}")
     if record.run_dir:
         print(f"telemetry: {record.run_dir}")
+    if args.trace_out:
+        from ..perf import write_chrome_trace
+
+        if record.span_tree:
+            write_chrome_trace(
+                args.trace_out,
+                [(f"{record.design}/{record.mode}", record.span_tree)],
+            )
+            print(f"trace: {args.trace_out}")
+        else:  # pragma: no cover - collect_spans guarantees a tree
+            print("no span tree collected; trace not written", file=sys.stderr)
     return 0
 
 
@@ -141,6 +159,7 @@ def _cmd_suite(args) -> int:
             rsmt_period=args.rsmt_period,
             rsmt_dirty_threshold=args.rsmt_dirty_threshold,
             telemetry_dir=args.telemetry,
+            collect_spans=bool(args.trace_out),
         )
         for design in designs
         for mode in args.modes
@@ -172,6 +191,24 @@ def _cmd_suite(args) -> int:
             args.telemetry, tasks, records, args.jobs, supervision=supervision
         )
         print(f"suite manifest: {path}")
+    if args.trace_out:
+        from ..perf import merge_span_trees, write_chrome_trace
+
+        named = [
+            (task.run_id, rec.span_tree)
+            for task, rec in zip(tasks, records)
+            if rec.span_tree
+        ]
+        if named:
+            named.append(
+                ("suite (merged)", merge_span_trees([t for _, t in named]))
+            )
+            write_chrome_trace(args.trace_out, named)
+            print(f"trace: {args.trace_out}")
+        else:
+            print(
+                "no span trees collected; trace not written", file=sys.stderr
+            )
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
             json.dump(
@@ -217,6 +254,63 @@ def _cmd_compare(args) -> int:
     )
     print(result.format())
     return 0 if result.ok else 1
+
+
+def _cmd_status(args) -> int:
+    """``status``: render the live-run registry of a telemetry dir."""
+    from .observe import cmd_status
+
+    return cmd_status(
+        args.telemetry_dir,
+        stale_after_s=args.stale_after,
+        as_json=args.json,
+        gc=args.gc,
+    )
+
+
+def _cmd_tail(args) -> int:
+    """``tail``: follow one run's event stream with convergence deltas."""
+    from .observe import cmd_tail
+
+    return cmd_tail(
+        args.target,
+        run_id=args.run,
+        once=args.once,
+        interval_s=args.interval,
+        timeout_s=args.timeout,
+    )
+
+
+def _cmd_trend(args) -> int:
+    """``trend``: render the perf ledger; exit 1 on drift past rtol."""
+    from ..telemetry.history import (
+        HISTORY_DIR,
+        check_trend,
+        list_benches,
+        load_history,
+        render_trend,
+    )
+
+    history_dir = args.history if args.history else HISTORY_DIR
+    benches = args.benches or list_benches(history_dir)
+    if not benches:
+        print(f"no benchmark history under {history_dir}")
+        return 0
+    failed = False
+    for bench in benches:
+        records = load_history(bench, history_dir)
+        if not records and args.benches:
+            # An explicitly named bench with no ledger is a typo or a
+            # wiring failure, not a clean pass.
+            print(f"trend: no history for bench {bench!r} "
+                  f"under {history_dir}")
+            failed = True
+            continue
+        print(render_trend(records, rtol=args.rtol))
+        print()
+        if check_trend(records, rtol=args.rtol):
+            failed = True
+    return 1 if failed else 0
 
 
 def _subcommand_parser() -> argparse.ArgumentParser:
@@ -267,6 +361,13 @@ def _subcommand_parser() -> argparse.ArgumentParser:
         metavar="DIST",
         help="between full rebuilds, re-route nets whose pins moved more "
         "than DIST um since their tree was built (default: off)",
+    )
+    run_p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="export the run's span tree as Chrome trace_event JSON "
+        "(open in chrome://tracing or ui.perfetto.dev)",
     )
     run_p.set_defaults(func=_cmd_run)
 
@@ -343,7 +444,89 @@ def _subcommand_parser() -> argparse.ArgumentParser:
         "crash isolation; the first failure aborts the suite (completed "
         "runs are still salvaged into a partial manifest)",
     )
+    suite_p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="export every run's span tree plus the suite-merged "
+        "aggregate as Chrome trace_event JSON (one track per run)",
+    )
     suite_p.set_defaults(func=_cmd_suite)
+
+    status_p = sub.add_parser(
+        "status", help="show live/stale/dead runs from the registry"
+    )
+    status_p.add_argument(
+        "telemetry_dir", help="telemetry directory holding the registry"
+    )
+    status_p.add_argument(
+        "--stale-after",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="heartbeat age past which a live pid counts as stale "
+        "(default 15)",
+    )
+    status_p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    status_p.add_argument(
+        "--gc",
+        action="store_true",
+        help="also remove records whose pid no longer exists",
+    )
+    status_p.set_defaults(func=_cmd_status)
+
+    tail_p = sub.add_parser(
+        "tail", help="follow a run's event stream with convergence deltas"
+    )
+    tail_p.add_argument(
+        "target",
+        help="run directory, events.jsonl path, or telemetry dir "
+        "(with --run)",
+    )
+    tail_p.add_argument(
+        "--run", default=None, metavar="RUN_ID",
+        help="run id inside a telemetry directory",
+    )
+    tail_p.add_argument(
+        "--once",
+        action="store_true",
+        help="parse the stream as it is now and exit (CI mode; torn "
+        "trailing records are counted, not fatal)",
+    )
+    tail_p.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval while following (default 0.5)",
+    )
+    tail_p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="stop following after this long even without run_end",
+    )
+    tail_p.set_defaults(func=_cmd_tail)
+
+    trend_p = sub.add_parser(
+        "trend", help="render the perf ledger; nonzero exit on drift"
+    )
+    trend_p.add_argument(
+        "benches", nargs="*", default=None,
+        help="bench names (default: every ledger under --history)",
+    )
+    trend_p.add_argument(
+        "--history",
+        default=None,
+        metavar="DIR",
+        help="ledger directory (default benchmarks/history)",
+    )
+    trend_p.add_argument(
+        "--rtol",
+        type=float,
+        default=0.1,
+        metavar="FRAC",
+        help="tolerated relative drift of the latest record vs the "
+        "median of up to 5 prior records (default 0.1)",
+    )
+    trend_p.set_defaults(func=_cmd_trend)
 
     rep_p = sub.add_parser("report", help="render one run's telemetry")
     rep_p.add_argument("run_dir", help="telemetry run directory")

@@ -256,6 +256,29 @@ def suite_metrics(
     return out
 
 
+def _suite_resources(
+    records: Sequence[RunRecord],
+) -> Optional[Dict[str, Any]]:
+    """Suite-level resource rollup: summed CPU/faults, max of the peaks.
+
+    CPU seconds and fault counts are per-run deltas, so they sum to a
+    suite total; peak RSS is per *process* (workers run tasks serially),
+    so the honest aggregate is the worst single process, not a sum.
+    Returns None when no record carries a sample (off-POSIX).
+    """
+    sampled = [r.resources for r in records if r.resources is not None]
+    if not sampled:
+        return None
+    return {
+        "peak_rss_bytes": max(int(s["peak_rss_bytes"]) for s in sampled),
+        "cpu_user_s": sum(float(s["cpu_user_s"]) for s in sampled),
+        "cpu_sys_s": sum(float(s["cpu_sys_s"]) for s in sampled),
+        "minor_faults": sum(int(s["minor_faults"]) for s in sampled),
+        "major_faults": sum(int(s["major_faults"]) for s in sampled),
+        "sampled_runs": len(sampled),
+    }
+
+
 def write_suite_manifest(
     directory: str,
     tasks: Sequence[SuiteTask],
@@ -291,6 +314,8 @@ def write_suite_manifest(
         }
         if rec.attempts > 1:
             entry["attempts"] = rec.attempts
+        if rec.resources is not None:
+            entry["resources"] = rec.resources
         if rec.quarantined:
             entry["quarantined"] = True
             entry["quarantine"] = rec.quarantine
@@ -308,6 +333,7 @@ def write_suite_manifest(
         "runs": runs,
         "merged_span_tree": merge_span_trees(trees) if trees else None,
         "metrics": suite_metrics(tasks, records),
+        "resources": _suite_resources(records),
     }
     if supervision is not None:
         payload["supervision"] = supervision

@@ -24,6 +24,7 @@ from ..place.placer import GlobalPlacer, PlacerOptions, PlacerResult
 from ..sta.analysis import run_sta
 from ..telemetry.events import recording
 from ..telemetry.manifest import make_run_id
+from ..telemetry.registry import heartbeating
 from ..telemetry.session import RunSession, start_run
 
 __all__ = ["MODES", "RunRecord", "run_mode", "PROFILE_DIR"]
@@ -74,6 +75,11 @@ class RunRecord:
     #: (``TaskOutcome`` dict with the failure taxonomy); None for runs
     #: that produced real metrics.
     quarantine: Optional[Dict[str, object]] = None
+    #: Resource rollup of the run (peak RSS bytes, CPU user/sys second
+    #: deltas, fault counts; see :mod:`repro.telemetry.resources`);
+    #: None off-POSIX or for unsampled runs.  Wall-clock-class data:
+    #: excluded from suite metrics and determinism gates.
+    resources: Optional[Dict[str, object]] = None
 
     @property
     def quarantined(self) -> bool:
@@ -103,6 +109,7 @@ def run_mode(
     with_trace_sta: bool = False,
     profile: bool = False,
     profile_dir: Optional[str] = None,
+    collect_spans: bool = False,
     telemetry_dir: Optional[str] = None,
     run_id: Optional[str] = None,
     sta_graph=None,
@@ -130,6 +137,10 @@ def run_mode(
     directory ``benchmarks/results/``), updating a
     ``profile_<design>_<mode>_latest.txt`` pointer; the flat stats dict
     is also attached to the returned record.
+
+    ``collect_spans=True`` records the hierarchical span tree onto the
+    returned record (for ``--trace-out`` exports) without the text-dump
+    side effects of ``profile``; implied by ``profile``/``telemetry_dir``.
 
     ``telemetry_dir`` opens a telemetry run under that directory (see
     :func:`repro.telemetry.session.start_run`): every layer's recorder
@@ -161,6 +172,7 @@ def run_mode(
             },
             run_id=run_id,
             resume=bool(popts.resume_from),
+            attempt=int((supervision or {}).get("attempt", 1)),
         )
         if design_cache is not None:
             session.manifest.design_cache = dict(design_cache)
@@ -169,14 +181,17 @@ def run_mode(
 
     # The session enables the profiler itself (the manifest carries the
     # span tree); --profile without telemetry keeps the legacy behaviour.
-    use_prof = profile or session is not None
+    use_prof = profile or collect_spans or session is not None
     was_enabled = PROFILER.enabled
-    if profile and session is None:
+    if (profile or collect_spans) and session is None:
         PROFILER.reset()
         PROFILER.enable()
 
     try:
-        with recording(session.recorder) if session is not None else _noop():
+        with contextlib.ExitStack() as stack:
+            if session is not None:
+                stack.enter_context(recording(session.recorder))
+                stack.enter_context(heartbeating(session.heartbeat))
             start = time.perf_counter()
             if mode == "dreamplace":
                 hook = (
@@ -217,9 +232,11 @@ def run_mode(
             design.name, mode
         )
         _dump_profile(out_dir, design.name, mode, rid)
-        if session is None:
-            PROFILER.enabled = was_enabled
+    if (profile or collect_spans) and session is None:
+        PROFILER.enabled = was_enabled
 
+    if session is not None and session.heartbeat is not None:
+        session.heartbeat.update(phase="sta", force=True)
     final = run_sta(design, result.x, result.y, graph=sta_graph)
     if session is not None:
         session.finalize(
@@ -233,6 +250,9 @@ def run_mode(
                 "runtime": runtime,
             }
         )
+    # Spans accumulate until the next reset, so the tree is still
+    # readable after finalize restored the profiler's enabled state.
+    span_tree = PROFILER.tree() if use_prof else None
     return RunRecord(
         design=design.name,
         mode=mode,
@@ -249,13 +269,10 @@ def run_mode(
         nonfinite_events=result.nonfinite_events,
         recoveries=result.recoveries,
         run_dir=session.run_dir if session is not None else None,
+        span_tree=span_tree,
         design_cache=dict(design_cache) if design_cache is not None else None,
+        resources=session.manifest.resources if session is not None else None,
     )
-
-
-@contextlib.contextmanager
-def _noop():
-    yield None
 
 
 def _dump_profile(out_dir: str, design: str, mode: str, run_id: str) -> str:

@@ -59,6 +59,8 @@ from ..perf import PROFILER
 from ..place.placer import PlacerOptions
 from ..runtime.faults import BundleCorruptionError, maybe_inject_process_fault
 from ..telemetry.events import MetricsRecorder
+from ..telemetry.registry import RunRegistry
+from ..telemetry.resources import resource_delta, sample_resources
 from .runners import RunRecord, run_mode
 from .suite import design_spec, load_design
 
@@ -284,6 +286,9 @@ class SuiteTask:
     rsmt_dirty_threshold: Optional[float] = None
     telemetry_dir: Optional[str] = None
     profile: bool = False
+    #: Record the span tree onto the result (for suite trace export)
+    #: without --profile's text-dump side effects.
+    collect_spans: bool = False
     with_trace_sta: bool = False
     extra_placer_options: Dict[str, Any] = field(default_factory=dict)
 
@@ -322,6 +327,7 @@ def _execute_task(
     (fired mid-task, after design setup) and stamp retry provenance into
     the run's telemetry manifest on attempts past the first.
     """
+    resources_before = sample_resources()
     t0 = time.perf_counter()
     graph = None
     cache_info = None
@@ -351,6 +357,7 @@ def _execute_task(
         timing_options=task.timing_options(),
         with_trace_sta=task.with_trace_sta,
         profile=task.profile,
+        collect_spans=task.collect_spans,
         telemetry_dir=task.telemetry_dir,
         run_id=task.run_id if task.telemetry_dir else None,
         sta_graph=graph,
@@ -359,8 +366,15 @@ def _execute_task(
     )
     record.setup_s = setup_s
     record.attempts = attempt
-    if task.profile or task.telemetry_dir:
+    if task.profile or task.collect_spans or task.telemetry_dir:
         record.span_tree = PROFILER.tree()
+    # Whole-task attribution (setup + solve + golden STA): CPU/fault
+    # deltas stay per-task even in a warm worker whose getrusage counters
+    # accumulate across tasks.  Overrides the session-scoped rollup
+    # run_mode attached, which excludes design setup.
+    delta = resource_delta(resources_before, sample_resources())
+    if delta is not None:
+        record.resources = delta
     return record
 
 
@@ -574,10 +588,15 @@ class _Supervisor:
         self.emitted = 0
         self.worker_respawns = 0
         self.degraded = False
-        self.telemetry = _SupervisorTelemetry(
-            next(
-                (t.telemetry_dir for t in self.tasks if t.telemetry_dir), None
-            )
+        telemetry_dir = next(
+            (t.telemetry_dir for t in self.tasks if t.telemetry_dir), None
+        )
+        self.telemetry = _SupervisorTelemetry(telemetry_dir)
+        #: Live-run registry under the suite telemetry dir: worker
+        #: sessions heartbeat into it, and the supervisor reads it
+        #: post-mortem to say *where* a killed/hung task last was.
+        self.registry = (
+            RunRegistry(telemetry_dir) if telemetry_dir is not None else None
         )
 
     # ------------------------------------------------------------------
@@ -597,6 +616,38 @@ class _Supervisor:
             )
         finally:
             self.telemetry.close()
+            if self.registry is not None:
+                # Sweep records orphaned by killed workers so `status`
+                # shows a clean registry after the suite returns.
+                self.registry.gc()
+
+    def _last_heartbeat(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """Post-mortem heartbeat of a killed/hung task's run, if any.
+
+        A worker that died mid-task leaves its run's registry record
+        behind (clean exits remove it), so the last beat tells us the
+        phase/iteration the task reached and how long it had been silent.
+        """
+        if self.registry is None:
+            return None
+        record = self.registry.read(run_id)
+        if record is None:
+            return None
+        return {
+            "phase": record.phase,
+            "iteration": record.iteration,
+            "age_s": round(record.age_s(), 1),
+        }
+
+    @staticmethod
+    def _describe_heartbeat(heartbeat: Optional[Dict[str, Any]]) -> str:
+        """``"; last seen at iteration 412 in rsmt_rebuild, silent for 93s"``."""
+        if heartbeat is None:
+            return ""
+        where = f"in {heartbeat['phase']}"
+        if heartbeat.get("iteration") is not None:
+            where = f"at iteration {heartbeat['iteration']} {where}"
+        return f"; last seen {where}, silent for {heartbeat['age_s']:.0f}s"
 
     def records_in_task_order(self) -> List[RunRecord]:
         out: List[RunRecord] = []
@@ -730,8 +781,13 @@ class _Supervisor:
             worker.kill()
             workers.remove(worker)
             if index is not None:
+                heartbeat = self._last_heartbeat(self.tasks[index].run_id)
                 self._register_failure(
-                    index, "crash", f"worker pid {pid} died mid-task"
+                    index,
+                    "crash",
+                    f"worker pid {pid} died mid-task"
+                    f"{self._describe_heartbeat(heartbeat)}",
+                    last_heartbeat=heartbeat,
                 )
                 self.telemetry.event(
                     "worker_respawn",
@@ -765,11 +821,14 @@ class _Supervisor:
         worker.kill()
         workers.remove(worker)
         if index is not None:
+            heartbeat = self._last_heartbeat(self.tasks[index].run_id)
             self._register_failure(
                 index,
                 "timeout",
                 f"task exceeded {self.options.task_timeout:.1f}s wall-clock "
-                f"timeout (worker pid {pid} killed)",
+                f"timeout (worker pid {pid} killed)"
+                f"{self._describe_heartbeat(heartbeat)}",
+                last_heartbeat=heartbeat,
             )
             self.telemetry.event(
                 "worker_respawn",
@@ -842,9 +901,18 @@ class _Supervisor:
         self._flush_verbose()
 
     def _register_failure(
-        self, index: int, failure: str, error: str
+        self,
+        index: int,
+        failure: str,
+        error: str,
+        last_heartbeat: Optional[Dict[str, Any]] = None,
     ) -> bool:
-        """Record one failed attempt; True when the task will be retried."""
+        """Record one failed attempt; True when the task will be retried.
+
+        ``last_heartbeat`` (``{phase, iteration, age_s}``, from the run
+        registry) is stamped into the quarantine telemetry so the event
+        says *where* the task died, not just that it did.
+        """
         outcome = self.outcomes[index]
         task = self.tasks[index]
         if outcome.attempts > self.options.max_retries:
@@ -863,7 +931,12 @@ class _Supervisor:
                 attempts=outcome.attempts,
                 failure=failure,
                 error=error,
+                last_heartbeat=last_heartbeat,
             )
+            if self.registry is not None:
+                # The quarantined run will never beat again; drop its
+                # record rather than leaving a permanent "dead" row.
+                self.registry.remove(task.run_id)
             self._flush_verbose()
             return False
         delay = self.options.backoff_delay(index, outcome.attempts)

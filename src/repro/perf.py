@@ -33,6 +33,7 @@ every layer of a run.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -45,6 +46,8 @@ __all__ = [
     "profile_enabled_by_env",
     "format_span_tree",
     "merge_span_trees",
+    "span_tree_to_trace_events",
+    "write_chrome_trace",
 ]
 
 
@@ -366,6 +369,100 @@ def merge_span_trees(
         "counters": {},
         "children": children,
     }
+
+
+# ----------------------------------------------------------------------
+# Chrome/Perfetto trace export
+# ----------------------------------------------------------------------
+def span_tree_to_trace_events(
+    tree: Dict[str, object],
+    pid: int = 1,
+    tid: int = 1,
+    t0_us: float = 0.0,
+) -> List[Dict[str, object]]:
+    """Convert a :meth:`Timer.tree`-shaped dict to ``trace_event`` spans.
+
+    Span trees are *aggregates* - total seconds per tree position, not a
+    timeline - so the export synthesizes one: every node becomes a
+    single complete (``"X"``) event whose duration is its accumulated
+    total time, with siblings laid out back-to-back from the parent's
+    start.  Opened in ``chrome://tracing`` or Perfetto the flame chart
+    then reads as "share of parent time", the zoomable equivalent of
+    :func:`format_span_tree`'s table.  Per-node call counts, self time
+    and counters ride along in ``args``.
+
+    Timestamps/durations are microseconds, per the ``trace_event`` spec.
+    """
+    events: List[Dict[str, object]] = []
+
+    def walk(node: Dict[str, object], start_us: float) -> None:
+        duration_us = max(float(node.get("total_s", 0.0)), 0.0) * 1e6
+        args: Dict[str, object] = {
+            "calls": int(node.get("calls", 0)),
+            "self_s": float(node.get("self_s", 0.0)),
+        }
+        counters = dict(node.get("counters", {}) or {})
+        if counters:
+            args["counters"] = counters
+        events.append(
+            {
+                "name": str(node.get("name", "")) or "run",
+                "ph": "X",
+                "cat": "span",
+                "ts": round(start_us, 3),
+                "dur": round(duration_us, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        child_start = start_us
+        for child in node.get("children", []):
+            walk(child, child_start)
+            child_start += max(float(child.get("total_s", 0.0)), 0.0) * 1e6
+
+    walk(tree, float(t0_us))
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    named_trees: List[Tuple[str, Dict[str, object]]],
+    pid: int = 1,
+) -> str:
+    """Write span trees as one Chrome ``trace_event`` JSON object file.
+
+    Each ``(name, tree)`` pair gets its own track (``tid``) labelled via
+    an ``"M"``-phase ``thread_name`` metadata event - a suite export puts
+    every run on its own track plus one for the merged aggregate.  The
+    file is the JSON-object flavour of the format
+    (``{"traceEvents": [...], "displayTimeUnit": "ms"}``), loadable by
+    ``chrome://tracing`` and https://ui.perfetto.dev.
+    """
+    trace_events: List[Dict[str, object]] = []
+    for tid, (name, tree) in enumerate(named_trees, start=1):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+        trace_events.extend(
+            span_tree_to_trace_events(tree, pid=pid, tid=tid)
+        )
+    payload = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
 
 
 #: Shared default profiler; library hot paths time against this instance.

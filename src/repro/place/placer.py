@@ -50,6 +50,8 @@ from ..runtime.validate import (
     validate_design,
 )
 from ..telemetry.events import current_recorder
+from ..telemetry.registry import current_heartbeat
+from ..telemetry.resources import ResourceSampler
 from .density import DensityModel
 from .optimizer import make_optimizer
 from .wirelength import WAWirelength, hpwl
@@ -243,6 +245,15 @@ class GlobalPlacer:
         if injector is None:
             injector = FaultInjector(FaultSpec.from_env())
         recorder = current_recorder()
+        heartbeat = current_heartbeat()
+        # Resource samples feed both the event stream (convergence-vs-RSS
+        # plots) and the heartbeat record (live `status` display); skip
+        # the sampler entirely when neither consumer is armed.
+        sampler = (
+            ResourceSampler()
+            if recorder is not None or heartbeat is not None
+            else None
+        )
 
         n = design.n_cells
         xl, yl, xh, yh = design.die
@@ -374,6 +385,19 @@ class GlobalPlacer:
         with _faults_armed(injector):
             while iteration < opts.max_iters:
                 last_iteration = iteration
+                if heartbeat is not None:
+                    # Re-asserting phase="place" also restores it after a
+                    # nested stage (rsmt_rebuild) stamped its own phase.
+                    heartbeat.update(phase="place", iteration=iteration)
+                if sampler is not None:
+                    sampled = sampler.maybe_sample()
+                    if sampled is not None:
+                        if recorder is not None:
+                            recorder.event(
+                                "resource", iteration=iteration, **sampled
+                            )
+                        if heartbeat is not None:
+                            heartbeat.update(resources=sampled)
                 injector.begin_iteration(iteration)
                 if manager.enabled:
                     manager.maybe_save(iteration, make_checkpoint)
@@ -626,6 +650,17 @@ class GlobalPlacer:
         x_final = pos[:n].copy()
         y_final = pos[n:].copy()
         runtime = time.perf_counter() - start_time
+        if sampler is not None:
+            # Forced final sample: even a run shorter than the throttle
+            # window ends with its true peak on record.
+            sampled = sampler.sample()
+            if sampled is not None:
+                if recorder is not None:
+                    recorder.event(
+                        "resource", iteration=last_iteration, **sampled
+                    )
+                if heartbeat is not None:
+                    heartbeat.update(resources=sampled, force=True)
         if recorder is not None:
             recorder.event(
                 "run_end",

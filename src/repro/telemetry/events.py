@@ -10,6 +10,13 @@ per line carrying at least
 
 ``ts``
     Wall-clock POSIX timestamp (float seconds) at emission.
+``ts_mono``
+    Monotonic timestamp (float seconds, ``time.monotonic()``) at
+    emission.  Only comparable *within* one process's stream; live
+    tailing uses it for iteration-rate/ETA math so the numbers survive
+    wall-clock adjustments (NTP steps, suspend).  New in schema v2 -
+    v1 streams simply lack the field and readers must fall back to
+    ``ts``.
 ``kind``
     One of :data:`EVENT_KINDS`.
 ``iteration``
@@ -39,6 +46,11 @@ kind               extra fields
                    ``overflow``
 ``incremental``    ``updates``, ``pins_recomputed`` (incremental-STA
                    progress, throttled)
+``resource``       ``rss_bytes``, ``peak_rss_bytes``, ``cpu_user_s``,
+                   ``cpu_sys_s``, ``minor_faults``, ``major_faults``
+                   (process resource sample from
+                   ``repro.telemetry.resources``, throttled; new in
+                   schema v2)
 ``run_end``        ``stop_reason``, ``iterations``, ``hpwl``,
                    ``overflow``, ``recoveries``,
                    ``quarantined_iterations``, ``nonfinite_events``
@@ -56,6 +68,13 @@ Library layers reach the active recorder through
 :func:`current_recorder` (armed with the :func:`recording` context
 manager around a run), mirroring the fault-injection pattern: when no
 recorder is armed every telemetry call site is a cheap ``None`` check.
+
+Version history:
+
+- v1: initial 13-kind schema (PR 3/7), wall-clock ``ts`` only.
+- v2: adds ``ts_mono`` to every event and the ``resource`` kind.
+  Readers stay back-compatible: v1 records are valid v2 records minus
+  the monotonic stamp.
 """
 
 from __future__ import annotations
@@ -78,11 +97,12 @@ __all__ = [
     "current_recorder",
     "recording",
     "read_events",
+    "read_events_partial",
     "iteration_series",
 ]
 
 #: Version stamp of the event schema (bumped on incompatible changes).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Default events filename inside a telemetry run directory.
 EVENTS_FILENAME = "events.jsonl"
@@ -97,6 +117,7 @@ EVENT_KINDS = (
     "recovery",
     "checkpoint",
     "incremental",
+    "resource",
     "run_end",
     "task_retry",
     "task_quarantine",
@@ -165,6 +186,7 @@ class MetricsRecorder:
             raise ValueError(kind_error_message(kind))
         record: Dict[str, Any] = {
             "ts": time.time(),
+            "ts_mono": time.monotonic(),
             "kind": kind,
             "iteration": None if iteration is None else int(iteration),
         }
@@ -256,14 +278,43 @@ def recording(recorder: MetricsRecorder):
         _CURRENT = previous
 
 
-def read_events(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL event stream back into a list of dicts."""
+def read_events_partial(path: str) -> "tuple[List[Dict[str, Any]], int]":
+    """Parse a JSONL event stream, tolerating a torn trailing record.
+
+    A stream read *mid-write* (live ``tail``/``status`` against an
+    in-flight run) may end in a partial line: either the final line has
+    no terminating newline yet, or it has one but the JSON payload was
+    cut short by the OS scheduling the reader between two ``write``
+    syscalls.  Such a trailing fragment is skipped and counted instead
+    of raising.  A malformed line in the *middle* of the file is still
+    an error - that is corruption, not an in-flight write.
+
+    Returns ``(events, skipped)`` where ``skipped`` is 0 or 1.
+    """
     events: List[Dict[str, Any]] = []
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            events.append(json.loads(stripped))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                return events, 1
+            raise
+    return events, 0
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL event stream back into a list of dicts.
+
+    Tolerates (and silently drops) a torn trailing partial record so
+    reading an in-flight stream is safe; use :func:`read_events_partial`
+    to observe the skip count.
+    """
+    events, _skipped = read_events_partial(path)
     return events
 
 

@@ -106,6 +106,11 @@ class RunManifest:
     #: for first-attempt (zero-fault) runs, keeping them byte-comparable
     #: with unsupervised output.
     supervision: Optional[Dict[str, Any]] = None
+    #: Resource rollup of the run (peak RSS, CPU user/sys deltas, fault
+    #: counts) from :mod:`repro.telemetry.resources`; None off-POSIX or
+    #: when sampling was off.  Wall-clock-class provenance: ignored by
+    #: ``compare`` and stripped by the CI determinism gates.
+    resources: Optional[Dict[str, Any]] = None
 
     @classmethod
     def create(

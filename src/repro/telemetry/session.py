@@ -11,7 +11,10 @@
 and hands back a :class:`RunSession` whose recorder is armed around the
 placement with :func:`repro.telemetry.events.recording`.  The session
 also turns the shared profiler on for its duration so the finalized
-manifest carries the hierarchical span tree of the run.
+manifest carries the hierarchical span tree of the run, registers a
+live heartbeat record in the telemetry base's registry
+(:mod:`repro.telemetry.registry`), and snapshots process resources so
+``finalize`` can roll a CPU/RSS summary into the manifest.
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ from .manifest import (
     make_run_id,
     write_manifest,
 )
+from .registry import Heartbeat, HeartbeatRecord, RunRegistry
+from .resources import resource_delta, sample_resources
 
 __all__ = ["RunSession", "start_run"]
 
@@ -42,6 +47,8 @@ class RunSession:
         manifest: RunManifest,
         recorder: MetricsRecorder,
         profile: bool = True,
+        registry_dir: Optional[str] = None,
+        attempt: int = 1,
     ) -> None:
         self.run_dir = run_dir
         self.manifest = manifest
@@ -52,6 +59,23 @@ class RunSession:
         if profile:
             PROFILER.reset()
             PROFILER.enable()
+        self._resources_start = sample_resources()
+        self.heartbeat: Optional[Heartbeat] = None
+        if registry_dir is not None:
+            registry = RunRegistry(registry_dir)
+            # Sweep records left by SIGKILL'd runs before adding ours.
+            registry.gc()
+            self.heartbeat = Heartbeat(
+                registry,
+                HeartbeatRecord(
+                    run_id=manifest.run_id,
+                    pid=os.getpid(),
+                    design=manifest.design,
+                    mode=manifest.mode,
+                    phase="setup",
+                    attempt=attempt,
+                ),
+            )
 
     @property
     def run_id(self) -> str:
@@ -66,6 +90,8 @@ class RunSession:
 
         ``span_tree`` defaults to the shared profiler's current tree
         (captured before the profiler's enabled state is restored).
+        A clean finalize also removes the run's registry record - a
+        record that outlives its pid is the signature of a killed run.
         """
         self.manifest.wall_clock_s = time.perf_counter() - self._t0
         if final_metrics:
@@ -76,8 +102,13 @@ class RunSession:
             self.manifest.span_tree = span_tree
         if self._profile:
             PROFILER.enabled = self._profiler_was_enabled
+        rollup = resource_delta(self._resources_start, sample_resources())
+        if rollup is not None:
+            self.manifest.resources = rollup
         write_manifest(self.manifest, self.run_dir)
         self.recorder.close()
+        if self.heartbeat is not None:
+            self.heartbeat.close(remove=True)
         return self.manifest
 
 
@@ -90,6 +121,7 @@ def start_run(
     run_id: Optional[str] = None,
     resume: bool = False,
     profile: bool = True,
+    attempt: int = 1,
 ) -> RunSession:
     """Open a telemetry run under ``base_dir``.
 
@@ -97,6 +129,9 @@ def start_run(
     (one containing ``manifest.json``); with ``resume=True`` that run is
     continued - its manifest is kept and new events append to its stream
     (the placer truncates any post-restart duplicates first).
+
+    ``attempt`` stamps the registry heartbeat so ``status`` can show
+    which supervisor retry a run belongs to.
     """
     if resume and os.path.exists(os.path.join(base_dir, MANIFEST_FILENAME)):
         run_dir = base_dir
@@ -104,7 +139,14 @@ def start_run(
         recorder = MetricsRecorder(
             os.path.join(run_dir, manifest.events_file), append=True
         )
-        return RunSession(run_dir, manifest, recorder, profile=profile)
+        return RunSession(
+            run_dir,
+            manifest,
+            recorder,
+            profile=profile,
+            registry_dir=os.path.dirname(os.path.abspath(run_dir)),
+            attempt=attempt,
+        )
 
     rid = run_id if run_id else make_run_id(design, mode)
     run_dir = os.path.join(base_dir, rid)
@@ -130,4 +172,11 @@ def start_run(
     recorder = MetricsRecorder(
         os.path.join(run_dir, manifest.events_file), append=existing or resume
     )
-    return RunSession(run_dir, manifest, recorder, profile=profile)
+    return RunSession(
+        run_dir,
+        manifest,
+        recorder,
+        profile=profile,
+        registry_dir=base_dir,
+        attempt=attempt,
+    )

@@ -1,0 +1,253 @@
+"""Run-registry lifecycle: register, beat, clean exit, SIGKILL, GC.
+
+The acceptance scenarios of the live-observability registry:
+
+- a run registers on start and its clean exit removes the record;
+- a SIGKILL'd process leaves its last beat behind, ``status`` flags the
+  record as dead, and a later registry user garbage-collects it;
+- stale detection distinguishes a hung-but-alive run from a dead one;
+- the placer loop and ``run_mode`` feed heartbeats end to end.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro.harness.supervisor as supervisor_mod
+from repro.harness.runners import run_mode
+from repro.place.placer import PlacerOptions
+from repro.telemetry.registry import (
+    DEFAULT_STALE_AFTER_S,
+    Heartbeat,
+    HeartbeatRecord,
+    RunRegistry,
+    current_heartbeat,
+    heartbeating,
+    pid_alive,
+)
+
+
+def _record(run_id="r1", pid=None, **kwargs):
+    return HeartbeatRecord(
+        run_id=run_id,
+        pid=pid if pid is not None else os.getpid(),
+        design="miniblue1",
+        mode="ours",
+        **kwargs,
+    )
+
+
+class TestLifecycle:
+    def test_register_beat_clean_exit_removes(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        beat = Heartbeat(registry, _record(), min_interval_s=0.0)
+        assert registry.read("r1") is not None
+        assert beat.update(phase="place", iteration=3)
+        stored = registry.read("r1")
+        assert stored.phase == "place"
+        assert stored.iteration == 3
+        beat.close(remove=True)
+        assert registry.read("r1") is None
+        assert registry.list() == []
+
+    def test_close_without_remove_keeps_post_mortem_record(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        beat = Heartbeat(registry, _record(), min_interval_s=0.0)
+        beat.update(phase="rsmt_rebuild", iteration=412)
+        beat.close(remove=False)
+        stored = registry.read("r1")
+        assert stored.phase == "rsmt_rebuild" and stored.iteration == 412
+        # A closed heartbeat never writes again.
+        assert not beat.update(phase="sta", force=True)
+
+    def test_throttle_skips_fast_beats_but_phase_change_writes(
+        self, tmp_path
+    ):
+        registry = RunRegistry(str(tmp_path))
+        beat = Heartbeat(registry, _record(), min_interval_s=3600.0)
+        assert not beat.update(iteration=1), "inside min_interval"
+        assert beat.update(phase="place", iteration=2), "phase change"
+        assert not beat.update(iteration=3)
+        assert beat.update(iteration=4, force=True)
+        # Unwritten progress still lands with the next persisted beat.
+        assert registry.read("r1").iteration == 4
+
+    def test_iteration_rate_uses_first_iteration_anchor(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        beat = Heartbeat(registry, _record(), min_interval_s=0.0)
+        assert registry.read("r1").iteration_rate() is None
+        beat.update(iteration=10)
+        beat.record.anchor_ts -= 2.0  # pretend the anchor is 2s old
+        beat.update(iteration=30, force=True)
+        rate = registry.read("r1").iteration_rate()
+        assert rate == pytest.approx(10.0, rel=0.2)
+
+    def test_heartbeating_arms_and_restores(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        beat = Heartbeat(registry, _record())
+        assert current_heartbeat() is None
+        with heartbeating(beat):
+            assert current_heartbeat() is beat
+        assert current_heartbeat() is None
+        with heartbeating(None):
+            assert current_heartbeat() is None
+
+
+class TestStates:
+    def test_fresh_record_with_live_pid_is_live(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        Heartbeat(registry, _record())
+        assert registry.read("r1").state() == "live"
+
+    def test_old_beat_with_live_pid_is_stale_not_garbage(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record = _record()
+        Heartbeat(registry, record)
+        stored = registry.read("r1")
+        now = stored.ts + DEFAULT_STALE_AFTER_S + 1.0
+        assert stored.state(now=now) == "stale"
+        # GC only collects dead pids: a hung run is evidence, not trash.
+        assert registry.gc() == []
+        assert registry.read("r1") is not None
+
+    def test_dead_pid_is_dead_and_gc_collects(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        assert not pid_alive(proc.pid)
+        registry.write(_record(run_id="gone", pid=proc.pid))
+        assert registry.read("gone").state() == "dead"
+        collected = registry.gc()
+        assert [r.run_id for r in collected] == ["gone"]
+        assert registry.read("gone") is None
+
+
+_CHILD_SCRIPT = """
+import os, sys, time
+from repro.telemetry.registry import Heartbeat, HeartbeatRecord, RunRegistry
+
+registry = RunRegistry(sys.argv[1])
+beat = Heartbeat(registry, HeartbeatRecord(
+    run_id="victim", pid=os.getpid(), design="miniblue1", mode="ours",
+), min_interval_s=0.0)
+beat.update(phase="place", iteration=412)
+print("ready", flush=True)
+time.sleep(600)
+"""
+
+
+class TestSigkilledRun:
+    def test_sigkill_leaves_record_status_flags_later_run_gcs(
+        self, tmp_path, capsys
+    ):
+        """Satellite scenario: SIGKILL a beating process; the record
+        survives as the post-mortem, ``status`` shows it dead, and the
+        next registry user garbage-collects it."""
+        from repro.harness.__main__ import main as harness_main
+
+        base = str(tmp_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(os.path.dirname(__file__), os.pardir, "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _CHILD_SCRIPT, base],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait()
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+
+        registry = RunRegistry(base)
+        stored = registry.read("victim")
+        assert stored is not None, "SIGKILL must not erase the last beat"
+        assert stored.phase == "place" and stored.iteration == 412
+        assert stored.state() == "dead"
+
+        assert harness_main(["status", base]) == 0
+        out = capsys.readouterr().out
+        assert "victim" in out and "dead" in out
+
+        # The post-mortem is still readable the way the supervisor
+        # quotes it in timeout/quarantine errors.
+        heartbeat = {
+            "phase": stored.phase,
+            "iteration": stored.iteration,
+            "age_s": round(stored.age_s(), 1),
+        }
+        message = supervisor_mod._Supervisor._describe_heartbeat(heartbeat)
+        assert "at iteration 412 in place" in message
+        assert "silent for" in message
+
+        # A later `status --gc` (any new registry user would do the
+        # same) collects the dead record.
+        assert harness_main(["status", base, "--gc"]) == 0
+        assert "gc: removed dead record victim" in capsys.readouterr().out
+        assert registry.read("victim") is None
+
+    def test_describe_heartbeat_formats(self):
+        describe = supervisor_mod._Supervisor._describe_heartbeat
+        assert describe(None) == ""
+        assert describe(
+            {"phase": "rsmt_rebuild", "iteration": 412, "age_s": 93.0}
+        ) == "; last seen at iteration 412 in rsmt_rebuild, silent for 93s"
+        assert describe(
+            {"phase": "setup", "iteration": None, "age_s": 5.0}
+        ) == "; last seen in setup, silent for 5s"
+
+
+class TestRunModeIntegration:
+    def test_run_registers_beats_and_cleans_up(
+        self, small_design, tmp_path, monkeypatch
+    ):
+        base = str(tmp_path / "tel")
+        registry = RunRegistry(base)
+        seen = {}
+        original = RunRegistry.write
+
+        def spy(self, record):
+            seen.setdefault("phases", set()).add(record.phase)
+            seen["last"] = record
+            return original(self, record)
+
+        monkeypatch.setattr(RunRegistry, "write", spy)
+        record = run_mode(
+            small_design,
+            "dreamplace",
+            placer_options=PlacerOptions(max_iters=8, min_iters=2, seed=0),
+            telemetry_dir=base,
+            run_id="lifecycle",
+        )
+        # The run registered, progressed through its phases, and the
+        # clean finalize removed the record.
+        assert {"setup", "place", "sta"} <= seen["phases"]
+        assert seen["last"].pid == os.getpid()
+        assert registry.list() == []
+        # The manifest rolled up the run's resource usage (POSIX only).
+        manifest_path = os.path.join(base, "lifecycle", "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        if record.resources is not None:
+            assert manifest["resources"]["peak_rss_bytes"] > 0
+            assert manifest["resources"]["cpu_user_s"] >= 0.0
+
+    def test_torn_registry_record_reads_as_absent(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        os.makedirs(registry.path, exist_ok=True)
+        with open(os.path.join(registry.path, "torn.json"), "w") as handle:
+            handle.write('{"run_id": "torn", "pid"')
+        assert registry.read("torn") is None
+        assert registry.list() == []

@@ -19,6 +19,7 @@ from repro.telemetry import (
     load_manifest,
     make_run_id,
     read_events,
+    read_events_partial,
     recording,
     start_run,
     write_manifest,
@@ -46,10 +47,14 @@ class TestMetricsRecorder:
             record = json.loads(line)
             assert record["kind"] in EVENT_KINDS
             assert isinstance(record["ts"], float)
+            # Schema v2: every event also carries a monotonic stamp.
+            assert isinstance(record["ts_mono"], float)
             assert "iteration" in record
             assert record["iteration"] is None or isinstance(
                 record["iteration"], int
             )
+        monos = [json.loads(line)["ts_mono"] for line in lines]
+        assert monos == sorted(monos), "ts_mono must be non-decreasing"
         events = read_events(path)
         assert events[1]["metrics"]["overflow"] == pytest.approx(0.9)
         assert events[2]["value"] == 3
@@ -78,6 +83,27 @@ class TestMetricsRecorder:
         assert any(e["kind"] == "recovery" for e in events)
         xs, ys = iteration_series(events)["hpwl"]
         assert xs == [0, 1, 2, 3] and ys[-1] == 30.0
+
+    def test_read_events_partial_tolerates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with MetricsRecorder(path) as rec:
+            rec.event("run_start", iteration=0)
+            rec.iteration(0, {"hpwl": 1.0})
+        with open(path, "a") as fh:
+            fh.write('{"ts": 1.0, "kind": "iterat')  # writer mid-record
+        events, skipped = read_events_partial(path)
+        assert [e["kind"] for e in events] == ["run_start", "iteration"]
+        assert skipped == 1
+        # read_events drops the torn tail silently (safe live reads) ...
+        assert [e["kind"] for e in read_events(path)] == \
+            ["run_start", "iteration"]
+        # ... but mid-file corruption is never silently skipped.
+        with open(path, "w") as fh:
+            fh.write("garbage\n")
+            fh.write('{"ts": 1.0, "ts_mono": 1.0, "kind": "run_end", '
+                     '"iteration": null}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_events_partial(path)
 
     def test_recording_arms_and_restores(self, tmp_path):
         assert current_recorder() is None
