@@ -1,0 +1,378 @@
+"""Density-kernel benchmark: seed scipy path vs planned-FFT fast path.
+
+Times one full ``DensityModel.evaluate`` (splat -> Poisson solve ->
+field -> gather) per variant on fixed designs and grids:
+
+- **legacy** (the baseline): the seed implementation, reproduced inline
+  below exactly as it shipped - four sequential ``np.add.at`` splat
+  passes, a per-call ``scipy.fft.dctn``/``idctn`` round-trip,
+  ``np.gradient`` central differences, and a fancy-indexed 2-D gather
+  that recomputes the bilinear weights per corner.
+- **scipy**: today's ``solver="scipy"`` reference path (shared fused
+  splat/gather, same per-call scipy transforms).
+- **planned**: ``solver="planned"`` - rfft plans with precomputed
+  twiddle tables, reciprocal eigen-denominator, spectral E-field,
+  Parseval energy.
+- **planned-fp32**: the planned path with ``precision="fp32"``
+  (complex64 FFTs in the solve; splat/gather stay float64).
+
+Variants are timed interleaved (one rep of each per round) and reported
+as the median over ``--repeats`` rounds, which damps machine drift; a
+separate profiled pass records the per-stage splat/solve/gather
+breakdown through :data:`repro.perf.PROFILER`.
+
+Gates (non-zero exit): planned-fp64 speedup vs legacy below
+``--min-speedup`` at the ``--gate-bins`` grid of the gate design (the
+last ``--designs`` entry; CI runs midiblue50 with ``--min-speedup
+1.5``), and a gradient cross-check vs legacy beyond loose rtol (the
+spectral field differs from central differences by the O(h^2) stencil
+truncation, so this catches wiring bugs, not ULPs).  Writes
+``benchmarks/results/BENCH_density.json`` and appends a
+``density_evaluate`` perf-ledger record for ``repro.harness trend``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_density.py
+        [--designs miniblue18 midiblue50] [--n-bins 64 128 256]
+        [--repeats 9] [--gate-bins 128] [--min-speedup 1.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from repro.harness.suite import load_design
+from repro.perf import PROFILER
+from repro.place.density import DensityModel
+from repro.telemetry.history import append_record
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+HISTORY_DIR = os.path.join(os.path.dirname(__file__), "history")
+
+
+class LegacyDensity:
+    """The seed density implementation, verbatim (the bench baseline).
+
+    Kept inline so the benchmark keeps measuring against the true
+    pre-optimization path even as ``repro.place.density`` evolves -
+    same approach as the suite-runner bench's cold baseline.
+    """
+
+    def __init__(self, design, n_bins=64, target_density=1.0):
+        xl, yl, xh, yh = design.die
+        self.design = design
+        self.xl, self.yl = xl, yl
+        self.nb = n_bins
+        self.hx = (xh - xl) / n_bins
+        self.hy = (yh - yl) / n_bins
+        self.target_density = target_density
+        self.movable = ~design.cell_fixed
+        self.area = design.cell_w * design.cell_h
+        self.movable_area_total = float(self.area[self.movable].sum())
+        self.bin_area = self.hx * self.hy
+        eigen = 2.0 - 2.0 * np.cos(np.pi * np.arange(n_bins) / n_bins)
+        denom = (
+            eigen[:, None] / (self.hx * self.hx)
+            + eigen[None, :] / (self.hy * self.hy)
+        )
+        denom[0, 0] = 1.0
+        self._denominator = denom
+
+    def _splat(self, x, y):
+        nb = self.nb
+        gx = (x[self.movable] - self.xl) / self.hx - 0.5
+        gy = (y[self.movable] - self.yl) / self.hy - 0.5
+        gx = np.clip(gx, 0.0, nb - 1.000001)
+        gy = np.clip(gy, 0.0, nb - 1.000001)
+        ix = np.floor(gx).astype(np.int64)
+        iy = np.floor(gy).astype(np.int64)
+        fx = gx - ix
+        fy = gy - iy
+        mass = self.area[self.movable]
+        rho = np.zeros((nb, nb))
+        np.add.at(rho, (ix, iy), mass * (1 - fx) * (1 - fy))
+        np.add.at(rho, (ix + 1, iy), mass * fx * (1 - fy))
+        np.add.at(rho, (ix, iy + 1), mass * (1 - fx) * fy)
+        np.add.at(rho, (ix + 1, iy + 1), mass * fx * fy)
+        return rho, (ix, iy, fx, fy, mass)
+
+    def _solve_poisson(self, rho):
+        source = rho / self.bin_area
+        source = source - source.mean()
+        coeff = dctn(source, type=2, norm="ortho")
+        coeff = coeff / self._denominator
+        coeff[0, 0] = 0.0
+        return idctn(coeff, type=2, norm="ortho")
+
+    def evaluate(self, x, y):
+        rho, (ix, iy, fx, fy, mass) = self._splat(x, y)
+        phi = self._solve_poisson(rho)
+        ex = -np.gradient(phi, self.hx, axis=0)
+        ey = -np.gradient(phi, self.hy, axis=1)
+
+        def gather(field):
+            return (
+                field[ix, iy] * (1 - fx) * (1 - fy)
+                + field[ix + 1, iy] * fx * (1 - fy)
+                + field[ix, iy + 1] * (1 - fx) * fy
+                + field[ix + 1, iy + 1] * fx * fy
+            )
+
+        grad_x = np.zeros(self.design.n_cells)
+        grad_y = np.zeros(self.design.n_cells)
+        grad_x[self.movable] = -mass * gather(ex)
+        grad_y[self.movable] = -mass * gather(ey)
+        energy = 0.5 * float(np.sum(rho / self.bin_area * phi)) * self.bin_area
+        capacity = self.target_density * self.bin_area
+        overflow = float(np.maximum(rho - capacity, 0.0).sum())
+        overflow /= max(self.movable_area_total, 1e-12)
+        return energy, overflow, grad_x, grad_y
+
+
+def _build_variants(design, n_bins):
+    return {
+        "legacy": LegacyDensity(design, n_bins),
+        "scipy": DensityModel(design, n_bins, solver="scipy"),
+        "planned": DensityModel(design, n_bins, solver="planned"),
+        "planned-fp32": DensityModel(
+            design, n_bins, solver="planned", precision="fp32"
+        ),
+    }
+
+
+def _time_variants(variants, x, y, repeats, warmup=2):
+    """Interleaved timing; returns {variant: median_seconds}."""
+    samples = {name: [] for name in variants}
+    for _ in range(warmup):
+        for model in variants.values():
+            model.evaluate(x, y)
+    for _ in range(repeats):
+        for name, model in variants.items():
+            t0 = time.perf_counter()
+            model.evaluate(x, y)
+            samples[name].append(time.perf_counter() - t0)
+    return {name: statistics.median(s) for name, s in samples.items()}
+
+
+def _stage_breakdown(model, x, y, reps=5):
+    """Per-stage seconds for one model via a profiled pass."""
+    was_enabled = PROFILER.enabled
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        for _ in range(reps):
+            model.evaluate(x, y)
+        stats = PROFILER.stats()
+    finally:
+        PROFILER.reset()
+        if not was_enabled:
+            PROFILER.disable()
+    return {
+        name: round(entry["mean_s"] * 1e3, 4)
+        for name, entry in stats.items()
+        if name.startswith("density.")
+    }
+
+
+def _cross_check(legacy, model, x, y, grad_rtol):
+    """Planned-vs-seed sanity: sharp where exact, loose where not.
+
+    Energy (Parseval vs grid inner product, same spectral solve) and
+    overflow (identical splat) must match to near machine precision.
+    The gradient only matches loosely: the seed's central-difference
+    field attenuates high spatial frequencies (its transfer function is
+    ``sin(kh)/kh``) where the planned field differentiates the
+    interpolant exactly, and on a rough density map the two legitimately
+    differ by ~15-20% in L2.  A wiring bug (swapped axes, lost ``1/h``)
+    lands at O(1), far beyond ``grad_rtol``.
+    """
+    e_ref, o_ref, gx_ref, gy_ref = legacy.evaluate(x, y)
+    res = model.evaluate(x, y)
+    num = np.linalg.norm(res.grad_x - gx_ref) + np.linalg.norm(
+        res.grad_y - gy_ref
+    )
+    den = np.linalg.norm(gx_ref) + np.linalg.norm(gy_ref) + 1e-30
+    checks = {
+        "grad_rel_l2": float(num / den),
+        "energy_rel": abs(res.energy - e_ref) / max(abs(e_ref), 1e-30),
+        "overflow_rel": abs(res.overflow - o_ref) / max(abs(o_ref), 1e-30),
+    }
+    ok = (
+        checks["grad_rel_l2"] <= grad_rtol
+        and checks["energy_rel"] <= 1e-9
+        and checks["overflow_rel"] <= 1e-12
+    )
+    return checks, ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--designs",
+        nargs="*",
+        default=["miniblue18", "midiblue50"],
+        help="suite designs; the LAST one is the speedup-gate design",
+    )
+    parser.add_argument(
+        "--n-bins", nargs="*", type=int, default=[64, 128, 256]
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=9,
+        help="timed rounds per variant (median reported)",
+    )
+    parser.add_argument(
+        "--gate-bins",
+        type=int,
+        default=128,
+        help="grid size the --min-speedup gate applies to",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail below this planned-fp64 speedup vs legacy (CI uses 1.5)",
+    )
+    parser.add_argument(
+        "--grad-rtol",
+        type=float,
+        default=0.35,
+        help="planned-vs-legacy gradient relative-L2 sanity bound "
+        "(loose: spectral vs central-difference field, see _cross_check)",
+    )
+    parser.add_argument(
+        "--history",
+        default=HISTORY_DIR,
+        help="perf-ledger directory for `trend` (empty string disables)",
+    )
+    args = parser.parse_args(argv)
+    if args.gate_bins not in args.n_bins:
+        args.n_bins = sorted(set(args.n_bins) | {args.gate_bins})
+
+    gate_design = args.designs[-1]
+    points = []
+    gate_speedup = None
+    gate_fp32_speedup = None
+    grad_ok_all = True
+    for design_name in args.designs:
+        design = load_design(design_name, cache=True)
+        # Spread movable cells over the die (seed-stable): generated
+        # designs start every movable cell at the exact die center,
+        # where the field vanishes by symmetry and the splat degenerates
+        # to a single bin - neither resembles a real placer iteration.
+        rng = np.random.default_rng(1234)
+        xl, yl, xh, yh = design.die
+        mov = ~design.cell_fixed
+        x = design.cell_x.copy()
+        y = design.cell_y.copy()
+        x[mov] = xl + rng.random(int(mov.sum())) * (xh - xl)
+        y[mov] = yl + rng.random(int(mov.sum())) * (yh - yl)
+        for n_bins in args.n_bins:
+            variants = _build_variants(design, n_bins)
+            medians = _time_variants(variants, x, y, args.repeats)
+            base = medians["legacy"]
+            speedups = {
+                name: base / t for name, t in medians.items() if t > 0
+            }
+            checks, grad_ok = _cross_check(
+                variants["legacy"], variants["planned"], x, y, args.grad_rtol
+            )
+            grad_ok_all = grad_ok_all and grad_ok
+            point = {
+                "design": design_name,
+                "n_bins": n_bins,
+                "median_ms": {
+                    name: round(t * 1e3, 4) for name, t in medians.items()
+                },
+                "speedup_vs_legacy": {
+                    name: round(s, 3) for name, s in speedups.items()
+                },
+                "checks_vs_legacy": checks,
+                "checks_ok": grad_ok,
+                "stages_ms": {
+                    "planned": _stage_breakdown(variants["planned"], x, y),
+                    "scipy": _stage_breakdown(variants["scipy"], x, y),
+                },
+            }
+            points.append(point)
+            if design_name == gate_design and n_bins == args.gate_bins:
+                gate_speedup = speedups["planned"]
+                gate_fp32_speedup = speedups["planned-fp32"]
+            print(
+                f"{design_name} nb={n_bins}: legacy {base * 1e3:.2f}ms | "
+                + " | ".join(
+                    f"{name} {medians[name] * 1e3:.2f}ms "
+                    f"({speedups[name]:.2f}x)"
+                    for name in ("scipy", "planned", "planned-fp32")
+                )
+                + f" | grad rel {checks['grad_rel_l2']:.2e} "
+                f"energy rel {checks['energy_rel']:.2e}"
+            )
+
+    payload = {
+        "designs": args.designs,
+        "n_bins": args.n_bins,
+        "repeats": args.repeats,
+        "gate_design": gate_design,
+        "gate_bins": args.gate_bins,
+        "speedup": gate_speedup,
+        "speedup_fp32": gate_fp32_speedup,
+        "grad_ok": grad_ok_all,
+        "baseline": "seed density path (4-pass np.add.at splat, per-call "
+        "scipy dctn/idctn, np.gradient field, fancy-indexed gather)",
+        "points": points,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_density.json")
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"gate point {gate_design} nb={args.gate_bins}: "
+        f"planned {gate_speedup:.2f}x, fp32 {gate_fp32_speedup:.2f}x "
+        f"vs legacy -> {out}"
+    )
+
+    if args.history:
+        append_record(
+            "density_evaluate",
+            {
+                "speedup": gate_speedup,
+                "speedup_fp32": gate_fp32_speedup,
+            },
+            gates={"speedup": "higher"},
+            history_dir=args.history,
+        )
+        print(
+            f"history: appended density_evaluate record under {args.history}"
+        )
+
+    failed = False
+    if not grad_ok_all:
+        print(
+            "FAIL: planned path drifted from the seed path (grad rtol "
+            f"{args.grad_rtol}, energy rtol 1e-9, overflow rtol 1e-12; "
+            "see checks_vs_legacy above)"
+        )
+        failed = True
+    if gate_speedup is None or gate_speedup < args.min_speedup:
+        print(
+            f"FAIL: planned speedup {gate_speedup or 0.0:.2f}x below "
+            f"required {args.min_speedup:.2f}x at {gate_design} "
+            f"nb={args.gate_bins}"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,11 +18,14 @@ __all__ = ["RULES_VERSION"]
 
 #: Bumped whenever a rule is added, removed, or changes what it flags;
 #: recorded in baselines and in telemetry run manifests.
-RULES_VERSION = "1.1"
+RULES_VERSION = "1.2"
 
 
 def _is_numpy(node: ast.AST) -> bool:
-    return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+    # ``xp`` is the backend shim's numpy-compatible namespace
+    # (repro.core.backend): every numpy contract these rules police
+    # applies unchanged to kernels ported onto it.
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy", "xp")
 
 
 def _in_tests(ctx: FileContext) -> bool:
@@ -48,7 +51,11 @@ class NoScatterAddAt(Rule):
     )
 
     _UFUNCS = ("add", "subtract")
-    _ALLOWED_FILES = ("benchmarks/bench_scatter.py",)
+    _ALLOWED_FILES = (
+        "benchmarks/bench_scatter.py",
+        # Carries the seed density pipeline verbatim as its baseline.
+        "benchmarks/bench_density.py",
+    )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
         if _in_tests(ctx) or ctx.relpath in self._ALLOWED_FILES:
@@ -452,6 +459,79 @@ class BackwardPair(Rule):
                         gradcheck = value.value
             return backward, gradcheck, deco
         return None
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class BackendShimOnly(Rule):
+    """Ported kernel modules reach arrays only through the backend shim.
+
+    The hot kernels (density, wirelength, smoothing, scatter, the FFT
+    plans) were ported to the ``xp`` namespace of
+    :mod:`repro.core.backend` so the same source runs on NumPy, CuPy or
+    torch.  A direct ``import numpy`` / ``scipy.fft`` call inside one of
+    them silently pins that kernel back to the host CPU - it keeps
+    working under the default backend, which is exactly why it needs a
+    lint rule rather than a test.  FFT entry points live on the backend
+    object (``get_backend().rfft`` etc.); everything else goes through
+    ``xp``.
+    """
+
+    id = "backend-shim-only"
+    description = (
+        "kernel modules must use repro.core.backend (xp / get_backend), "
+        "never numpy/scipy directly"
+    )
+
+    #: The modules ported to the shim.  Extend this list as more kernels
+    #: are converted; the rule intentionally does NOT cover the rest of
+    #: the codebase, where direct numpy use is normal and correct.
+    _KERNEL_MODULES = (
+        "src/repro/core/fftplan.py",
+        "src/repro/core/scatter.py",
+        "src/repro/core/smoothing.py",
+        "src/repro/place/density.py",
+        "src/repro/place/wirelength.py",
+    )
+    _FORBIDDEN_ROOTS = ("numpy", "scipy")
+    _FORBIDDEN_NAMES = ("np", "numpy", "scipy")
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        if ctx.relpath not in self._KERNEL_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in self._FORBIDDEN_ROOTS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"direct 'import {alias.name}' in a ported "
+                            "kernel module; use the xp namespace / "
+                            "backend methods from repro.core.backend",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[0] in self._FORBIDDEN_ROOTS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"direct 'from {module} import ...' in a ported "
+                        "kernel module; use the xp namespace / backend "
+                        "methods from repro.core.backend",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in self._FORBIDDEN_NAMES
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{node.value.id}.{node.attr}' bypasses the "
+                        "backend shim in a ported kernel module; spell "
+                        f"it 'xp.{node.attr}'",
+                    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,203 @@
+"""Placement-level equivalence gate for the density fast path.
+
+Transform-level identity of the planned FFT pipeline is pinned at
+~1e-15 in ``tests/test_fftplan.py``, but the planned solver also swaps
+the E-field discretisation: the seed path differentiates the potential
+with central differences, the planned path differentiates the spectral
+interpolant exactly.  The two fields differ by the O(h^2) stencil
+truncation, the placer integrates that difference over hundreds of
+iterations, and no transform test can bound where the cells end up - so
+the meaningful equivalence check is *placement-level*: run the same
+(design, mode, seed) with each solver and compare what the paper's
+evaluation actually reports.
+
+:func:`verify_density` runs three configurations -
+
+- ``scipy``   (fp64): the seed reference pipeline,
+- ``planned`` (fp64): the fast path,
+- ``planned`` (fp32): the fast path with the single-precision solve -
+
+and applies two gates:
+
+1. **planned-fp64 vs scipy** at a *cross-solver* tolerance: final
+   golden-STA metrics (WNS/TNS/HPWL/overflow) within ``metric_rtol``
+   and the per-iteration overflow trajectory within ``traj_rtol``.
+   Empirically the miniblue-scale differences sit at ~1e-2 on final
+   metrics and ~2e-3 on trajectories; the default tolerances carry
+   ~5x headroom without letting a lost scale factor or swapped axis
+   (O(1) effects) through.
+2. **planned-fp32 vs planned-fp64** at a much tighter tolerance
+   (``fp32_rtol``): same solver, so the only difference is float32
+   rounding inside the spectral solve.  This is the verification gate
+   behind the harness ``--precision fp32`` flag.
+
+The run trio is also a speed probe: the report carries each
+configuration's placement runtime, so a fast path that silently stopped
+being fast shows up here too (informational, not gated - the perf gate
+lives in ``benchmarks/bench_density.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..place.placer import PlacerOptions
+
+__all__ = ["DensityCheck", "DensityVerifyReport", "verify_density"]
+
+
+@dataclass
+class DensityCheck:
+    """One compared quantity of one configuration pair."""
+
+    pair: str
+    quantity: str
+    ref: float
+    cand: float
+    rel: float
+    rtol: float
+
+    @property
+    def ok(self) -> bool:
+        return self.rel <= self.rtol
+
+    def format(self) -> str:
+        mark = "ok " if self.ok else "FAIL"
+        return (
+            f"  [{mark}] {self.pair:<24} {self.quantity:<18} "
+            f"ref={self.ref:12.4f} cand={self.cand:12.4f} "
+            f"rel={self.rel:.3e} (rtol {self.rtol:.1e})"
+        )
+
+
+@dataclass
+class DensityVerifyReport:
+    """All checks of one :func:`verify_density` invocation."""
+
+    design: str
+    mode: str
+    seed: int
+    max_iters: int
+    checks: List[DensityCheck] = field(default_factory=list)
+    runtimes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def format(self) -> str:
+        lines = [
+            f"# verify-density: {self.design} mode={self.mode} "
+            f"seed={self.seed} max_iters={self.max_iters}"
+        ]
+        lines.extend(c.format() for c in self.checks)
+        lines.append(
+            "  runtimes: "
+            + ", ".join(
+                f"{name} {t:.2f}s" for name, t in self.runtimes.items()
+            )
+        )
+        lines.append(
+            "PASS: density fast path matches the reference"
+            if self.ok
+            else "FAIL: density fast path drifted beyond tolerance"
+        )
+        return "\n".join(lines)
+
+
+def _rel(ref: float, cand: float) -> float:
+    return abs(cand - ref) / max(abs(ref), 1e-12)
+
+
+def _compare_pair(
+    pair: str, ref, cand, metric_rtol: float, traj_rtol: float
+) -> List[DensityCheck]:
+    """Final golden-STA metrics + overflow-trajectory checks for a pair."""
+    checks = [
+        DensityCheck(pair, name, getattr(ref, name), getattr(cand, name),
+                     _rel(getattr(ref, name), getattr(cand, name)),
+                     metric_rtol)
+        for name in ("wns", "tns", "hpwl")
+    ]
+    traj_ref = [p["overflow"] for p in ref.trace if "overflow" in p]
+    traj_cand = [p["overflow"] for p in cand.trace if "overflow" in p]
+    n = min(len(traj_ref), len(traj_cand))
+    worst = 0.0
+    worst_ref = worst_cand = 0.0
+    for a, b in zip(traj_ref[:n], traj_cand[:n]):
+        rel = _rel(a, b)
+        if rel > worst:
+            worst, worst_ref, worst_cand = rel, a, b
+    checks.append(
+        DensityCheck(
+            pair, "overflow_traj_max", worst_ref, worst_cand, worst,
+            traj_rtol,
+        )
+    )
+    # Diverging iteration counts mean one run hit the stop criterion on
+    # a different trajectory entirely; gate the relative length gap.
+    len_rel = _rel(float(len(traj_ref)), float(len(traj_cand)))
+    checks.append(
+        DensityCheck(
+            pair, "traj_length", float(len(traj_ref)),
+            float(len(traj_cand)), len_rel, traj_rtol,
+        )
+    )
+    return checks
+
+
+def verify_density(
+    design_name: str,
+    mode: str = "dreamplace",
+    seed: int = 0,
+    max_iters: int = 120,
+    metric_rtol: float = 5e-2,
+    traj_rtol: float = 2e-2,
+    fp32_rtol: float = 5e-3,
+    n_bins: Optional[int] = None,
+) -> DensityVerifyReport:
+    """Run the solver trio and gate the fast path (see module docstring)."""
+    from .runners import run_mode
+    from .suite import load_design
+
+    design = load_design(design_name, cache=True)
+    configs = {
+        "scipy": ("scipy", "fp64"),
+        "planned": ("planned", "fp64"),
+        "planned-fp32": ("planned", "fp32"),
+    }
+    records = {}
+    report = DensityVerifyReport(design_name, mode, seed, max_iters)
+    for name, (solver, precision) in configs.items():
+        records[name] = run_mode(
+            design,
+            mode,
+            placer_options=PlacerOptions(
+                max_iters=max_iters,
+                seed=seed,
+                n_bins=n_bins,
+                density_solver=solver,
+                density_precision=precision,
+            ),
+        )
+        report.runtimes[name] = records[name].runtime
+    report.checks.extend(
+        _compare_pair(
+            "planned-vs-scipy",
+            records["scipy"],
+            records["planned"],
+            metric_rtol,
+            traj_rtol,
+        )
+    )
+    report.checks.extend(
+        _compare_pair(
+            "fp32-vs-planned-fp64",
+            records["planned"],
+            records["planned-fp32"],
+            fp32_rtol,
+            fp32_rtol,
+        )
+    )
+    return report

@@ -97,6 +97,10 @@ class PlacerOptions:
     seed: int = 0
     trace_every: int = 1
     verbose: bool = False
+    # Density pipeline: "scipy" is the bit-stable reference, "planned"
+    # the rfft fast path; fp32 applies to the planned spectral solve.
+    density_solver: str = "scipy"
+    density_precision: str = "fp64"
     # ------------------------------------------------------------------
     # Guarded runtime (repro.runtime)
     # ------------------------------------------------------------------
@@ -188,7 +192,13 @@ class GlobalPlacer:
         n_bins = self.options.n_bins
         if n_bins is None:
             n_bins = _auto_bins(design)
-        self.density = DensityModel(design, n_bins, self.options.target_density)
+        self.density = DensityModel(
+            design,
+            n_bins,
+            self.options.target_density,
+            solver=self.options.density_solver,
+            precision=self.options.density_precision,
+        )
         self.movable = ~design.cell_fixed
         #: L1 norm of the latest wirelength gradient; extra-gradient hooks
         #: may read this to normalise their own magnitude.

@@ -12,24 +12,24 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-import numpy as np
 
+from ..core.backend import xp
 from ..core.scatter import scatter_add
 from ..netlist.design import Design
 
 __all__ = ["hpwl", "WAWirelength"]
 
 
-def _segment_reduceat(op, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+def _segment_reduceat(op, values: xp.ndarray, starts: xp.ndarray) -> xp.ndarray:
     """`op.reduceat` guarded against empty trailing segments."""
     return op.reduceat(values, starts)
 
 
 def hpwl(
     design: Design,
-    cell_x: Optional[np.ndarray] = None,
-    cell_y: Optional[np.ndarray] = None,
-    net_weights: Optional[np.ndarray] = None,
+    cell_x: Optional[xp.ndarray] = None,
+    cell_y: Optional[xp.ndarray] = None,
+    net_weights: Optional[xp.ndarray] = None,
 ) -> float:
     """(Weighted) half-perimeter wirelength of all nets."""
     px, py = design.pin_positions(cell_x, cell_y)
@@ -40,10 +40,10 @@ def hpwl(
     x = px[order]
     y = py[order]
     span = (
-        np.maximum.reduceat(x, starts)
-        - np.minimum.reduceat(x, starts)
-        + np.maximum.reduceat(y, starts)
-        - np.minimum.reduceat(y, starts)
+        xp.maximum.reduceat(x, starts)
+        - xp.minimum.reduceat(x, starts)
+        + xp.maximum.reduceat(y, starts)
+        - xp.minimum.reduceat(y, starts)
     )
     if net_weights is not None:
         span = span * net_weights
@@ -64,37 +64,37 @@ class WAWirelength:
         self.order = design.net2pin
         self.degrees = design.net_degrees
         # Nets with fewer than 2 pins contribute nothing.
-        self.active = (self.degrees >= 2).astype(np.float64)
+        self.active = (self.degrees >= 2).astype(xp.float64)
         self.pin_cells = design.pin2cell[self.order]
 
     def _axis(
-        self, coord: np.ndarray, gamma: float, weights: np.ndarray
-    ) -> Tuple[float, np.ndarray]:
+        self, coord: xp.ndarray, gamma: float, weights: xp.ndarray
+    ) -> Tuple[float, xp.ndarray]:
         """Smooth span and per-ordered-pin gradient along one axis."""
         starts = self.starts
         repeats = self.degrees
 
-        c_max = np.maximum.reduceat(coord, starts)
-        c_min = np.minimum.reduceat(coord, starts)
-        shift_max = np.repeat(c_max, repeats)
-        shift_min = np.repeat(c_min, repeats)
+        c_max = xp.maximum.reduceat(coord, starts)
+        c_min = xp.minimum.reduceat(coord, starts)
+        shift_max = xp.repeat(c_max, repeats)
+        shift_min = xp.repeat(c_min, repeats)
 
-        a_pos = np.exp((coord - shift_max) / gamma)
-        a_neg = np.exp((shift_min - coord) / gamma)
-        b_pos = np.add.reduceat(a_pos, starts)
-        b_neg = np.add.reduceat(a_neg, starts)
-        c_pos = np.add.reduceat(coord * a_pos, starts)
-        c_neg = np.add.reduceat(coord * a_neg, starts)
+        a_pos = xp.exp((coord - shift_max) / gamma)
+        a_neg = xp.exp((shift_min - coord) / gamma)
+        b_pos = xp.add.reduceat(a_pos, starts)
+        b_neg = xp.add.reduceat(a_neg, starts)
+        c_pos = xp.add.reduceat(coord * a_pos, starts)
+        c_neg = xp.add.reduceat(coord * a_neg, starts)
         wa_pos = c_pos / b_pos
         wa_neg = c_neg / b_neg
 
-        span = float(np.sum(weights * self.active * (wa_pos - wa_neg)))
+        span = float(xp.sum(weights * self.active * (wa_pos - wa_neg)))
 
-        w_rep = np.repeat(weights * self.active, repeats)
-        wa_pos_rep = np.repeat(wa_pos, repeats)
-        wa_neg_rep = np.repeat(wa_neg, repeats)
-        b_pos_rep = np.repeat(b_pos, repeats)
-        b_neg_rep = np.repeat(b_neg, repeats)
+        w_rep = xp.repeat(weights * self.active, repeats)
+        wa_pos_rep = xp.repeat(wa_pos, repeats)
+        wa_neg_rep = xp.repeat(wa_neg, repeats)
+        b_pos_rep = xp.repeat(b_pos, repeats)
+        b_neg_rep = xp.repeat(b_neg, repeats)
         grad = w_rep * (
             (a_pos / b_pos_rep) * (1.0 + (coord - wa_pos_rep) / gamma)
             - (a_neg / b_neg_rep) * (1.0 - (coord - wa_neg_rep) / gamma)
@@ -103,15 +103,15 @@ class WAWirelength:
 
     def evaluate(
         self,
-        cell_x: np.ndarray,
-        cell_y: np.ndarray,
+        cell_x: xp.ndarray,
+        cell_y: xp.ndarray,
         gamma: float,
-        net_weights: Optional[np.ndarray] = None,
-    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        net_weights: Optional[xp.ndarray] = None,
+    ) -> Tuple[float, xp.ndarray, xp.ndarray]:
         """Return (smooth WL, dWL/dcell_x, dWL/dcell_y)."""
         design = self.design
         weights = (
-            np.ones(design.n_nets) if net_weights is None else net_weights
+            xp.ones(design.n_nets) if net_weights is None else net_weights
         )
         px, py = design.pin_positions(cell_x, cell_y)
         x = px[self.order]

@@ -72,6 +72,21 @@ class TestNoScatterAddAt:
         assert len(found) == 2
         assert "repro.core.scatter" in found[0].message
 
+    def test_flags_xp_add_at(self, tmp_path):
+        """The backend shim's ``xp`` namespace is numpy-like to rules."""
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "from repro.core.backend import xp\n"
+                    "def f(out, idx, v):\n"
+                    "    xp.add.at(out, idx, v)\n"
+                )
+            },
+        )
+        found = findings_of(run_analysis(root), "no-scatter-add-at")
+        assert len(found) == 1
+
     def test_good_paths_clean(self, tmp_path):
         root = make_repo(
             tmp_path,
@@ -549,6 +564,43 @@ class TestProvenanceAndTelemetry:
         with pytest.raises(ValueError, match="did you mean 'recovery'"):
             rec.event("recovry")
         rec.close()
+
+
+class TestBackendShimOnly:
+    def test_flags_numpy_and_scipy_in_kernel_modules(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/place/density.py": (
+                    "import numpy as np\n"
+                    "from scipy.fft import dctn\n"
+                    "def f(a):\n"
+                    "    return np.exp(a)\n"
+                ),
+            },
+        )
+        found = findings_of(run_analysis(root), "backend-shim-only")
+        assert len(found) == 3  # import, from-import, np. attribute
+        assert "repro.core.backend" in found[0].message
+
+    def test_shim_use_and_non_kernel_modules_clean(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/place/density.py": (
+                    "from ..core.backend import get_backend, xp\n"
+                    "def f(a):\n"
+                    "    return get_backend().rfft(xp.asarray(a))\n"
+                ),
+                # Direct numpy use outside the ported kernels is normal.
+                "src/repro/sta/mod.py": (
+                    "import numpy as np\n"
+                    "def g(a):\n"
+                    "    return np.exp(a)\n"
+                ),
+            },
+        )
+        assert findings_of(run_analysis(root), "backend-shim-only") == []
 
 
 class TestSupervisedPoolOnly:

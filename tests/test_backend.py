@@ -1,0 +1,150 @@
+"""Unit tests for the multi-backend array shim (`repro.core.backend`)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import backend as backend_mod
+from repro.core.backend import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    BackendUnavailableError,
+    available_backends,
+    backend_name,
+    get_backend,
+    set_backend,
+    to_numpy,
+    use_backend,
+    xp,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_selection():
+    """Reset explicit selection and env override around every test."""
+    prev_active = backend_mod._active
+    prev_env = os.environ.get(BACKEND_ENV)
+    yield
+    backend_mod._active = prev_active
+    if prev_env is None:
+        os.environ.pop(BACKEND_ENV, None)
+    else:
+        os.environ[BACKEND_ENV] = prev_env
+
+
+class TestXpProxy:
+    def test_dispatches_to_numpy_bit_for_bit(self):
+        a = xp.linspace(0.0, 1.0, 17)
+        b = np.linspace(0.0, 1.0, 17)
+        assert isinstance(a, np.ndarray)
+        assert np.array_equal(a, b)
+        assert np.array_equal(xp.exp(a), np.exp(b))
+
+    def test_constants_and_dtypes_forward(self):
+        assert xp.pi == np.pi
+        assert xp.dtype(xp.float32) == np.dtype(np.float32)
+        assert xp.float64 is np.float64
+
+    def test_repr_names_active_backend(self):
+        assert "numpy" in repr(xp)
+
+
+class TestSelection:
+    def test_default_is_numpy(self):
+        os.environ.pop(BACKEND_ENV, None)
+        backend_mod._active = None
+        assert backend_name() == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_env_var_selects_backend(self):
+        backend_mod._active = None
+        os.environ[BACKEND_ENV] = "numpy"
+        assert backend_name() == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_explicit_wins_over_env(self):
+        os.environ[BACKEND_ENV] = "torch"
+        set_backend("numpy")
+        assert backend_name() == "numpy"
+
+    def test_unknown_backend_is_clean_error(self):
+        with pytest.raises(BackendUnavailableError, match="unknown backend"):
+            set_backend("jax")
+
+    def test_use_backend_scopes_and_restores(self):
+        backend_mod._active = None
+        with use_backend("numpy") as be:
+            assert be.name == "numpy"
+            assert backend_mod._active == "numpy"
+        assert backend_mod._active is None
+
+    def test_use_backend_restores_on_error(self):
+        backend_mod._active = None
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_backend("numpy"):
+                raise RuntimeError("boom")
+        assert backend_mod._active is None
+
+
+class TestAvailability:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    @pytest.mark.parametrize("name", ["cupy", "torch"])
+    def test_missing_accelerator_raises_with_alternatives(self, name):
+        """Accelerator backends absent in this container fail cleanly.
+
+        If one IS importable here, selection must still succeed or raise
+        the typed error - never a raw ImportError.
+        """
+        try:
+            be = set_backend(name)
+        except BackendUnavailableError as exc:
+            assert exc.backend == name
+            assert "available:" in str(exc)
+            assert "numpy" in str(exc)
+        else:
+            assert be.name == name
+
+    def test_selection_does_not_leak_on_failure(self):
+        backend_mod._active = None
+        if "cupy" in available_backends():
+            pytest.skip("cupy importable in this environment")
+        with pytest.raises(BackendUnavailableError):
+            set_backend("cupy")
+        assert backend_name() == "numpy"
+
+
+class TestNumpyBackendTransforms:
+    def test_rfft_preserves_float32(self):
+        """scipy-routed FFTs keep fp32 in complex64 (numpy.fft promotes)."""
+        be = get_backend()
+        a = np.random.default_rng(0).random((4, 16)).astype(np.float32)
+        spec = be.rfft(a)
+        assert spec.dtype == np.complex64
+        back = be.irfft(spec, n=16)
+        assert back.dtype == np.float32
+        np.testing.assert_allclose(back, a, rtol=1e-5, atol=1e-6)
+
+    def test_rfft_matches_numpy_fft_fp64(self):
+        be = get_backend()
+        a = np.random.default_rng(1).random((3, 32))
+        np.testing.assert_allclose(be.rfft(a), np.fft.rfft(a), rtol=1e-12)
+
+    def test_dctn_roundtrip(self):
+        be = get_backend()
+        a = np.random.default_rng(2).random((8, 8))
+        coeff = be.dctn(a, type=2, norm="ortho")
+        np.testing.assert_allclose(
+            be.idctn(coeff, type=2, norm="ortho"), a, rtol=1e-12
+        )
+
+    def test_to_numpy_is_host_array(self):
+        out = to_numpy(xp.arange(5))
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_backend_names_frozen():
+    assert BACKEND_NAMES == ("numpy", "cupy", "torch")

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.netlist import DesignBuilder, default_library
 from repro.place import DensityModel
 
 
@@ -116,6 +117,200 @@ class TestOverflow:
             np.clip(cy + rng.normal(0, 20, d.n_cells), yl, yh),
         )
         assert loose.overflow < tight.overflow
+
+
+def _macro_design(extra_movable=True):
+    """A 5x5 block of fixed DFFs (a macro stand-in) plus optional probes."""
+    builder = DesignBuilder(
+        "blockage", default_library(), die=(0.0, 0.0, 32.0, 32.0)
+    )
+    for i in range(5):
+        for j in range(5):
+            builder.add_cell(
+                f"m{i}_{j}", "DFF_X1",
+                x=7.0 + 0.8 * i, y=14.0 + 0.8 * j, fixed=True,
+            )
+    if extra_movable:
+        builder.add_cell("right", "INV_X1", x=11.0, y=16.0)
+        builder.add_cell("left", "INV_X1", x=5.0, y=16.0)
+    return builder.build()
+
+
+class TestFixedBlockage:
+    def test_fixed_area_deposited_once_at_construction(self):
+        d = _macro_design()
+        model = DensityModel(d, n_bins=16)
+        fixed_area = float(
+            (d.cell_w * d.cell_h)[d.cell_fixed].sum()
+        )
+        assert model._fixed_rho is not None
+        assert model._fixed_rho.sum() == pytest.approx(fixed_area, rel=1e-12)
+
+    def test_blockage_repels_movable_cells(self):
+        """Probes on either side of the macro are pushed away from it."""
+        d = _macro_design()
+        model = DensityModel(d, n_bins=16)
+        res = model.evaluate(d.cell_x, d.cell_y)
+        right = list(d.cell_name).index("right")
+        left = list(d.cell_name).index("left")
+        # Energy decreases moving the right probe further right (+x) and
+        # the left probe further left (-x): d(energy)/dx < 0 and > 0.
+        assert res.grad_x[right] < 0
+        assert res.grad_x[left] > 0
+
+    def test_blockage_raises_density_under_macro(self):
+        d = _macro_design(extra_movable=False)
+        # All-fixed: density map still shows the blockage.
+        model = DensityModel(d, n_bins=16)
+        res = model.evaluate(d.cell_x, d.cell_y)
+        assert res.density.max() > 0.0
+
+    def test_zero_area_ports_keep_fixed_rho_disabled(self, small_design):
+        """Generated designs have only zero-area fixed ports: no blockage
+        map is allocated and the historical density is bit-identical."""
+        model = DensityModel(small_design, n_bins=16)
+        assert model._fixed_rho is None
+
+
+class TestAllFixedEarlyOut:
+    def test_all_fixed_design_returns_exact_zeros(self):
+        d = _macro_design(extra_movable=False)
+        assert not (~d.cell_fixed).any()
+        for solver in ("scipy", "planned"):
+            model = DensityModel(d, n_bins=16, solver=solver)
+            res = model.evaluate(d.cell_x, d.cell_y)
+            assert res.energy == 0.0
+            assert res.overflow == 0.0
+            assert np.abs(res.grad_x).max() == 0.0
+            assert np.abs(res.grad_y).max() == 0.0
+            assert res.potential is None
+
+
+class TestSolverOptions:
+    def test_unknown_solver_rejected(self, small_design):
+        with pytest.raises(ValueError, match="unknown density solver"):
+            DensityModel(small_design, n_bins=16, solver="fftw")
+
+    def test_unknown_precision_rejected(self, small_design):
+        with pytest.raises(ValueError, match="unknown density precision"):
+            DensityModel(small_design, n_bins=16, precision="fp16")
+
+    def test_fp32_requires_planned_solver(self, small_design):
+        with pytest.raises(ValueError, match="requires solver='planned'"):
+            DensityModel(small_design, n_bins=16, solver="scipy",
+                         precision="fp32")
+
+    def test_fp32_gradients_are_float64_at_the_boundary(
+        self, small_design, spread_positions
+    ):
+        x, y = spread_positions
+        model = DensityModel(small_design, n_bins=16, solver="planned",
+                             precision="fp32")
+        res = model.evaluate(x, y)
+        assert res.grad_x.dtype == np.float64
+        assert res.grad_y.dtype == np.float64
+
+
+class TestSolverEquivalence:
+    """fp64 planned vs scipy, including an odd bin count.
+
+    The splat is shared (identical rho, hence identical overflow), the
+    energy agrees to machine precision via Parseval, and the gradients
+    differ only by the spectral-vs-central-difference field (a few
+    percent on these maps; O(1) if an axis or scale were wrong).
+    """
+
+    @pytest.mark.parametrize("n_bins", [17, 64, 128])
+    def test_planned_matches_scipy_fp64(
+        self, small_design, spread_positions, n_bins
+    ):
+        x, y = spread_positions
+        ref = DensityModel(small_design, n_bins=n_bins).evaluate(x, y)
+        fast = DensityModel(
+            small_design, n_bins=n_bins, solver="planned"
+        ).evaluate(x, y)
+        assert fast.overflow == ref.overflow
+        assert fast.energy == pytest.approx(ref.energy, rel=1e-12)
+        np.testing.assert_allclose(fast.density, ref.density, rtol=1e-12)
+        for g_ref, g_fast in ((ref.grad_x, fast.grad_x),
+                              (ref.grad_y, fast.grad_y)):
+            rel = np.linalg.norm(g_fast - g_ref) / np.linalg.norm(g_ref)
+            assert rel < 0.15
+
+    @pytest.mark.parametrize("n_bins", [17, 64])
+    def test_fp32_tracks_fp64_planned(
+        self, small_design, spread_positions, n_bins
+    ):
+        x, y = spread_positions
+        ref = DensityModel(
+            small_design, n_bins=n_bins, solver="planned"
+        ).evaluate(x, y)
+        fp32 = DensityModel(
+            small_design, n_bins=n_bins, solver="planned", precision="fp32"
+        ).evaluate(x, y)
+        assert fp32.overflow == ref.overflow  # splat stays fp64
+        assert fp32.energy == pytest.approx(ref.energy, rel=1e-5)
+        for g_ref, g_fp32 in ((ref.grad_x, fp32.grad_x),
+                              (ref.grad_y, fp32.grad_y)):
+            rel = np.linalg.norm(g_fp32 - g_ref) / np.linalg.norm(g_ref)
+            assert rel < 1e-5
+
+    def test_keep_potential_materialises_grid(
+        self, small_design, spread_positions
+    ):
+        x, y = spread_positions
+        fast = DensityModel(
+            small_design, n_bins=16, solver="planned", keep_potential=True
+        ).evaluate(x, y)
+        ref = DensityModel(small_design, n_bins=16).evaluate(x, y)
+        assert fast.potential is not None
+        np.testing.assert_allclose(
+            fast.potential, ref.potential, rtol=1e-9, atol=1e-12
+        )
+
+    def test_planned_skips_potential_by_default(
+        self, small_design, spread_positions
+    ):
+        x, y = spread_positions
+        fast = DensityModel(
+            small_design, n_bins=16, solver="planned"
+        ).evaluate(x, y)
+        assert fast.potential is None
+
+
+class TestFiniteDifferenceGradcheck:
+    """Central-difference check of d(energy)/dx for both solvers.
+
+    The analytic gradient interpolates the field at the cell center
+    while the FD quotient differentiates through the splat weights, so
+    they agree only to the bilinear-interpolation error (~0.2 rel L2 on
+    a 16-bin grid) - but direction and scale must match; a lost 1/h or
+    swapped axis fails by an order of magnitude.
+    """
+
+    @pytest.mark.parametrize("solver", ["scipy", "planned"])
+    def test_energy_gradient_matches_fd(
+        self, small_design, spread_positions, solver
+    ):
+        d = small_design
+        x, y = spread_positions
+        model = DensityModel(d, n_bins=16, solver=solver)
+        res = model.evaluate(x, y)
+        probes = np.nonzero(~d.cell_fixed)[0][:24]
+        eps = 1e-5 * model.hx
+        fd = np.empty(len(probes))
+        for t, i in enumerate(probes):
+            xp_ = x.copy()
+            xm_ = x.copy()
+            xp_[i] += eps
+            xm_[i] -= eps
+            fd[t] = (
+                model.evaluate(xp_, y).energy - model.evaluate(xm_, y).energy
+            ) / (2.0 * eps)
+        grad = np.asarray(res.grad_x[probes])
+        rel = np.linalg.norm(fd - grad) / np.linalg.norm(fd)
+        assert rel < 0.3
+        assert np.corrcoef(fd, grad)[0, 1] > 0.95
 
 
 class TestAutoBins:

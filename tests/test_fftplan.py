@@ -1,0 +1,171 @@
+"""Transform-level identity tests for the planned DCT pipeline.
+
+These pin the rfft-based Makhoul DCT-II/III plans and the spectral
+derivative against scipy's C transforms (and an explicit analytic
+derivative matrix) at fp64 machine precision, including odd lengths -
+the placement-level planned-vs-scipy gate (`verify-density`) builds on
+this identity.
+"""
+
+import numpy as np
+import pytest
+import scipy.fft
+
+from repro.core.fftplan import Dct2Plan, SpectralGridPlan
+
+SIZES = [2, 5, 17, 64, 128]
+
+
+def _rows(n, rows=3, seed=0):
+    return np.random.default_rng(seed + n).standard_normal((rows, n))
+
+
+class TestDct2Plan:
+    def test_rejects_degenerate_length(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            Dct2Plan(1)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_forward_matches_scipy_dct2(self, n):
+        a = _rows(n)
+        got = Dct2Plan(n).forward(a)
+        ref = scipy.fft.dct(a, type=2, norm="ortho", axis=-1)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-13)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_inverse_matches_scipy_dct3(self, n):
+        coeff = _rows(n, seed=10)
+        got = Dct2Plan(n).inverse(coeff)
+        ref = scipy.fft.idct(coeff, type=2, norm="ortho", axis=-1)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-13)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_roundtrip_is_identity(self, n):
+        a = _rows(n, seed=20)
+        plan = Dct2Plan(n)
+        np.testing.assert_allclose(
+            plan.inverse(plan.forward(a)), a, rtol=1e-12, atol=1e-13
+        )
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_inverse_deriv_matches_analytic_matrix(self, n):
+        """The IDXST path equals -d/ds of the cosine interpolant.
+
+        The ortho DCT-III reconstruction at sample point s_j=(2j+1)/2 is
+        sum_k f(k) * X[k] * cos(pi k s_j / n); differentiating in s pulls
+        out -(pi k / n) sin(pi k s_j / n), so `inverse_deriv` (the field,
+        -d(phi)/ds) is the explicit positive sine matrix below.
+        """
+        coeff = _rows(n, seed=30)
+        fnorm = np.full(n, np.sqrt(2.0 / n))
+        fnorm[0] = np.sqrt(1.0 / n)
+        j = np.arange(n)[:, None]
+        k = np.arange(n)[None, :]
+        M = fnorm * (np.pi * k / n) * np.sin(np.pi * k * (2 * j + 1) / (2 * n))
+        dref = coeff @ M.T
+        got = Dct2Plan(n).inverse_deriv(coeff)
+        np.testing.assert_allclose(got, dref, rtol=1e-10, atol=1e-11)
+
+    def test_fp32_plan_preserves_dtype(self):
+        n = 64
+        a = _rows(n, seed=40).astype(np.float32)
+        plan = Dct2Plan(n, dtype=np.float32)
+        fwd = plan.forward(a)
+        assert fwd.dtype == np.float32
+        inv = plan.inverse(fwd)
+        assert inv.dtype == np.float32
+        ref = scipy.fft.dct(a.astype(np.float64), type=2, norm="ortho")
+        np.testing.assert_allclose(fwd, ref, rtol=2e-5, atol=2e-5)
+        np.testing.assert_allclose(inv, a, rtol=2e-5, atol=2e-5)
+
+    def test_outputs_are_scratch_views(self):
+        """Documented contract: outputs are overwritten by the next call."""
+        plan = Dct2Plan(8)
+        a = _rows(8, seed=50)
+        first = plan.forward(a)
+        snapshot = first.copy()
+        plan.forward(a + 1.0)
+        assert not np.allclose(first, snapshot)
+
+
+class TestSpectralGridPlan:
+    @pytest.mark.parametrize("n", [5, 17, 64, 128])
+    def test_dct2_idct2_match_scipy_dctn(self, n):
+        a = np.random.default_rng(n).standard_normal((n, n))
+        plan = SpectralGridPlan(n)
+        np.testing.assert_allclose(
+            plan.dct2(a),
+            scipy.fft.dctn(a, type=2, norm="ortho"),
+            rtol=1e-12,
+            atol=1e-13,
+        )
+        coeff = np.random.default_rng(n + 1).standard_normal((n, n))
+        np.testing.assert_allclose(
+            plan.idct2(coeff),
+            scipy.fft.idctn(coeff, type=2, norm="ortho"),
+            rtol=1e-12,
+            atol=1e-13,
+        )
+
+    @pytest.mark.parametrize("n", [17, 64])
+    def test_poisson_field_matches_reference_solve(self, n):
+        """Planned potential == scipy DCT solve; field == exact d(phi)/ds."""
+        rng = np.random.default_rng(100 + n)
+        rho = rng.random((n, n))
+        denom = (
+            2.0 - 2.0 * np.cos(np.pi * np.arange(n) / n)
+        )[:, None] + (2.0 - 2.0 * np.cos(np.pi * np.arange(n) / n))[None, :]
+        denom[0, 0] = 1.0
+        inv = 1.0 / denom
+        inv[0, 0] = 0.0
+        inv_t = np.ascontiguousarray(inv.T)
+
+        plan = SpectralGridPlan(n)
+        coeff_t, pot_t, ex_t, ey, phi = plan.poisson_field(
+            rho, inv_t, want_potential=True
+        )
+
+        # coeff_t keeps the raw-rho DC; inv's zero DC slot projects the
+        # mean out of the potential, so phi matches the mean-subtracted
+        # reference solve exactly.
+        coeff_ref = scipy.fft.dctn(rho, type=2, norm="ortho")
+        pot_coeff = coeff_ref * inv
+        phi_ref = scipy.fft.idctn(pot_coeff, type=2, norm="ortho")
+        np.testing.assert_allclose(phi, phi_ref, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(
+            coeff_t, coeff_ref.T, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(pot_t, pot_coeff.T, rtol=1e-10, atol=1e-12)
+
+        # Field = -d(phi)/ds per axis at unit pitch, via the analytic
+        # sine matrix of the cosine interpolant (see Dct2Plan test).
+        fnorm = np.full(n, np.sqrt(2.0 / n))
+        fnorm[0] = np.sqrt(1.0 / n)
+        j = np.arange(n)[:, None]
+        k = np.arange(n)[None, :]
+        M = fnorm * (np.pi * k / n) * np.sin(np.pi * k * (2 * j + 1) / (2 * n))
+        half_x = scipy.fft.idct(pot_coeff, type=2, norm="ortho", axis=1)
+        ex_ref = M @ half_x  # [x, y]; ex_t is stored transposed [y, x]
+        np.testing.assert_allclose(ex_t.T, ex_ref, rtol=1e-9, atol=1e-11)
+        half_y = scipy.fft.idct(pot_coeff, type=2, norm="ortho", axis=0)
+        ey_ref = half_y @ M.T  # [x, y]
+        np.testing.assert_allclose(ey, ey_ref, rtol=1e-9, atol=1e-11)
+
+    def test_parseval_energy_identity(self):
+        """sum(coeff * pot_coeff) == sum(source * phi) for ortho DCTs."""
+        n = 32
+        rng = np.random.default_rng(7)
+        rho = rng.random((n, n))
+        denom = (
+            2.0 - 2.0 * np.cos(np.pi * np.arange(n) / n)
+        )[:, None] + (2.0 - 2.0 * np.cos(np.pi * np.arange(n) / n))[None, :]
+        denom[0, 0] = 1.0
+        inv = 1.0 / denom
+        inv[0, 0] = 0.0
+        plan = SpectralGridPlan(n)
+        coeff_t, pot_t, _, _, phi = plan.poisson_field(
+            rho, np.ascontiguousarray(inv.T), want_potential=True
+        )
+        spectral = float(np.sum(coeff_t * pot_t))
+        grid = float(np.sum((rho - rho.mean()) * phi))
+        assert spectral == pytest.approx(grid, rel=1e-12)

@@ -174,8 +174,7 @@ class TestHelperEquivalence:
 # ----------------------------------------------------------------------
 _PATCH_SITES = (
     (wirelength_mod, "scatter_add", ref_scatter_add),
-    (density_mod, "scatter_add_2d", ref_scatter_add_2d),
-    (density_mod, "scatter_accumulate_at", ref_scatter_accumulate_at),
+    (density_mod, "scatter_add", ref_scatter_add),
     (tree_mod, "scatter_add", ref_scatter_add),
     (smoothing_mod, "scatter_add", ref_scatter_add),
     (elmore_grad_mod, "scatter_add", ref_scatter_add),
