@@ -1,0 +1,118 @@
+"""Micro-benchmark: reprolint cold vs warm incremental-cache wall time.
+
+Lints the repository twice through :class:`repro.analysis.core.Analyzer`
+against a scratch cache file: the first (cold) run parses every target
+and populates the cache, the second (warm) run must be served from the
+project-signature hit without parsing anything.  The findings of both
+runs are compared byte for byte (``to_dict`` equality), the timings are
+appended to the ``benchmarks/history/`` perf ledger under the
+``reprolint`` bench, and the run fails if the warm/cold speedup falls
+below ``--min-speedup`` (CI gates at 3.0: a cache that saves less than
+3x is not doing its one job).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_reprolint.py
+        [--repeat 3] [--min-speedup 3.0] [--no-ledger]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.analysis.core import Analyzer
+from repro.analysis.rules import RULES_VERSION
+from repro.telemetry.history import append_record
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _lint(cache_path: str):
+    t0 = time.perf_counter()
+    findings, n_files, suppressed = Analyzer(
+        REPO_ROOT, cache_path=cache_path
+    ).run()
+    elapsed = time.perf_counter() - t0
+    return elapsed, [f.to_dict() for f in findings], n_files, suppressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=None)
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the benchmarks/history/ trend-ledger append",
+    )
+    args = parser.parse_args(argv)
+
+    cold_times, warm_times = [], []
+    identical = True
+    n_files = 0
+    with tempfile.TemporaryDirectory(prefix="reprolint-bench-") as tmp:
+        for i in range(max(1, args.repeat)):
+            cache_path = os.path.join(tmp, f"cache-{i}.json")
+            cold_s, cold_findings, n_files, cold_sup = _lint(cache_path)
+            warm_s, warm_findings, _, warm_sup = _lint(cache_path)
+            identical &= (cold_findings, cold_sup) == (warm_findings, warm_sup)
+            cold_times.append(cold_s)
+            warm_times.append(warm_s)
+            print(
+                f"round {i}: cold {cold_s * 1e3:8.1f} ms   "
+                f"warm {warm_s * 1e3:8.1f} ms   "
+                f"{cold_s / warm_s:6.2f}x   "
+                f"{'identical' if identical else 'MISMATCH'}"
+            )
+
+    cold_s = min(cold_times)
+    warm_s = min(warm_times)
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"best:    cold {cold_s * 1e3:8.1f} ms   warm {warm_s * 1e3:8.1f} ms"
+        f"   {speedup:6.2f}x over {n_files} files"
+    )
+
+    payload = {
+        "rules_version": RULES_VERSION,
+        "repeat": args.repeat,
+        "n_files": n_files,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": speedup,
+        "findings_identical": identical,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = os.path.join(RESULTS_DIR, "BENCH_reprolint.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+
+    if not args.no_ledger:
+        append_record(
+            "reprolint",
+            {"cold_s": cold_s, "warm_s": warm_s, "warm_speedup": speedup},
+            gates={"warm_speedup": "higher"},
+        )
+
+    if not identical:
+        print("FAIL: warm-cache findings differ from cold findings")
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: warm speedup {speedup:.2f}x below "
+            f"--min-speedup {args.min_speedup:g}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

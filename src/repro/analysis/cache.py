@@ -1,0 +1,168 @@
+"""Incremental result cache for the reprolint analyzer.
+
+Lint output is a pure function of (rule set, rule versions, file
+contents, lint targets), so it caches perfectly.  The cache keys on two
+levels:
+
+- a **project signature** - sha256 over ``RULES_VERSION``, the sorted
+  rule ids, the sorted ``(relpath, content-hash)`` pairs of every
+  indexed file, and the sorted lint-target list.  When it matches, the
+  stored *final* result (post-suppression findings, file count,
+  suppression count) is returned verbatim: the warm path hashes file
+  bytes and parses **nothing**, which is where the >=3x warm/cold
+  speedup gated in ``benchmarks/bench_reprolint.py`` comes from, and
+  why warm findings are byte-identical to cold by construction.
+- **per-file entries** - for each lint target, its content hash, the
+  raw (pre-suppression) findings of every *cacheable* file-scope rule,
+  and the suppressions its check phase consumed.  On a partial hit
+  (some files changed) the analyzer still parses everything - the
+  semantic index needs every AST - but re-runs cacheable file rules
+  only on changed files.  Rules whose output depends on *other* files
+  (``telemetry-kind-literal`` reads the event vocabulary from
+  ``telemetry/events.py``) are marked non-cacheable and always re-run,
+  as are the project-scope families.
+
+The cache lives at ``<root>/.reprolint-cache.json`` (gitignored) and is
+OFF by default in :func:`repro.analysis.core.run_analysis` - the
+telemetry provenance hook runs inside placements and must never write
+into the tree - and ON in the CLI (``--no-cache`` opts out).  A stale or
+corrupt cache file degrades to a cold run, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["CACHE_FILENAME", "ResultCache", "hash_file", "project_signature"]
+
+#: Conventional cache location at the repo root (gitignored).
+CACHE_FILENAME = ".reprolint-cache.json"
+
+_FORMAT_VERSION = 1
+
+
+def hash_file(path: str) -> Optional[str]:
+    """sha256 of a file's bytes, or None if unreadable."""
+    try:
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+    except OSError:
+        return None
+
+
+def project_signature(
+    rules_version: str,
+    rule_ids: Sequence[str],
+    file_hashes: Dict[str, Optional[str]],
+    targets: Sequence[str],
+) -> str:
+    """The cache key of one whole-project analyzer configuration."""
+    canonical = json.dumps(
+        {
+            "format": _FORMAT_VERSION,
+            "rules_version": rules_version,
+            "rules": sorted(rule_ids),
+            "files": sorted(
+                (rel, digest or "unreadable")
+                for rel, digest in file_hashes.items()
+            ),
+            "targets": sorted(targets),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk memo of one analyzer run; see the module docstring."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.project_sig: Optional[str] = None
+        #: Final result under ``project_sig``: (finding dicts, n_files,
+        #: suppressed count).
+        self.full: Optional[Dict[str, object]] = None
+        #: relpath -> {"hash", "raw": {rule_id: [finding dicts]},
+        #:             "used": [[line, rule_id], ...]}
+        self.files: Dict[str, Dict[str, object]] = {}
+        self._rules_version: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str, rules_version: str) -> "ResultCache":
+        """Load the cache at ``path``; any problem yields an empty one."""
+        cache = cls(path)
+        cache._rules_version = rules_version
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return cache
+        if not isinstance(data, dict):
+            return cache
+        if data.get("format") != _FORMAT_VERSION:
+            return cache
+        if data.get("rules_version") != rules_version:
+            # A rule-set change invalidates everything, including the
+            # per-file raw findings.
+            return cache
+        cache.project_sig = data.get("project_sig")
+        full = data.get("full")
+        cache.full = full if isinstance(full, dict) else None
+        files = data.get("files")
+        if isinstance(files, dict):
+            cache.files = {
+                rel: entry
+                for rel, entry in files.items()
+                if isinstance(entry, dict) and "hash" in entry
+            }
+        return cache
+
+    def write(self) -> None:
+        """Persist; failures are silent (a cache must never break lint)."""
+        payload = {
+            "format": _FORMAT_VERSION,
+            "rules_version": self._rules_version,
+            "project_sig": self.project_sig,
+            "full": self.full,
+            "files": self.files,
+        }
+        try:
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def full_result(self, sig: str) -> Optional[Dict[str, object]]:
+        """The stored final result if the project signature matches."""
+        if sig == self.project_sig and isinstance(self.full, dict):
+            return self.full
+        return None
+
+    def file_entry(
+        self, relpath: str, content_hash: Optional[str]
+    ) -> Optional[Dict[str, object]]:
+        """The per-file entry if the file is byte-identical to cached."""
+        if content_hash is None:
+            return None
+        entry = self.files.get(relpath)
+        if entry is not None and entry.get("hash") == content_hash:
+            return entry
+        return None
+
+    def store(
+        self,
+        sig: str,
+        full: Dict[str, object],
+        files: Dict[str, Dict[str, object]],
+    ) -> None:
+        self.project_sig = sig
+        self.full = full
+        self.files = files

@@ -1,5 +1,17 @@
 """Command-line front end: ``python -m repro.analysis``.
 
+Subcommands / modes:
+
+- ``python -m repro.analysis [paths...]`` - lint (default: src,
+  benchmarks), warm-cached at ``<root>/.reprolint-cache.json`` unless
+  ``--no-cache``;
+- ``python -m repro.analysis explain <rule-id>`` - print the full
+  policy text behind a rule;
+- ``--changed REF`` - lint only files differing from a git ref (plus
+  untracked files), for pre-commit use;
+- ``--sarif PATH`` - also emit the findings as SARIF 2.1.0;
+- ``--jobs N`` - fan file analysis out over supervised workers.
+
 Exit codes:
 
 - ``0`` - no findings beyond the committed baseline;
@@ -12,11 +24,21 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 from typing import List, Optional
 
 from .baseline import BASELINE_FILENAME, Baseline, BaselineIntegrityError
-from .core import RULE_REGISTRY, META_RULES, Analyzer, Report, run_analysis
+from .cache import CACHE_FILENAME
+from .core import (
+    DEFAULT_LINT_PATHS,
+    META_RULES,
+    RULE_REGISTRY,
+    Analyzer,
+    Report,
+    load_rules,
+    run_analysis,
+)
 from .rules import RULES_VERSION
 
 __all__ = ["main", "find_repo_root"]
@@ -38,7 +60,7 @@ def find_repo_root(start: Optional[str] = None) -> str:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="reprolint: AST-based invariant checks for this repo",
+        description="reprolint: semantic-index invariant checks for this repo",
     )
     parser.add_argument(
         "paths",
@@ -59,6 +81,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the report as JSON to PATH (or stdout if no PATH)",
     )
     parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="also write the new findings as SARIF 2.1.0 to PATH",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="PATH",
@@ -70,11 +98,88 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record current findings as the new baseline and exit",
     )
     parser.add_argument(
+        "--changed",
+        default=None,
+        metavar="REF",
+        help="lint only files differing from the given git ref "
+        "(plus untracked files); exits 0 immediately if none",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan file analysis out over N supervised worker processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"disable the incremental result cache (<root>/{CACHE_FILENAME})",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
     )
     return parser
+
+
+def _explain(rule_id: str) -> int:
+    load_rules()
+    rule = RULE_REGISTRY.get(rule_id)
+    if rule is None:
+        if rule_id in META_RULES:
+            print(f"{rule_id} (meta rule, emitted by the analyzer itself)")
+            print()
+            print(META_RULES[rule_id])
+            return 0
+        known = ", ".join(sorted(RULE_REGISTRY) + sorted(META_RULES))
+        print(f"error: unknown rule {rule_id!r}; known rules: {known}",
+              file=sys.stderr)
+        return 1
+    scope = "project-wide" if rule.scope == "project" else "per-file"
+    cached = "cached incrementally" if rule.cacheable else "always re-run"
+    print(f"{rule.id} ({scope}, {cached})")
+    print()
+    print(rule.explain())
+    return 0
+
+
+def _changed_files(root: str, ref: str) -> Optional[List[str]]:
+    """Repo-relative .py files differing from ``ref`` or untracked.
+
+    Restricted to the default lint roots.  Returns None if git fails
+    (not a git checkout, unknown ref) - caller falls back to a full lint.
+    """
+    def git(*args: str) -> Optional[List[str]]:
+        try:
+            out = subprocess.run(
+                ["git", *args],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=True,
+            ).stdout
+        except (OSError, subprocess.SubprocessError):
+            return None
+        return out.splitlines()
+
+    diffed = git("diff", "--name-only", ref)
+    if diffed is None:
+        return None
+    untracked = git("ls-files", "--others", "--exclude-standard") or []
+    prefixes = tuple(p + "/" for p in DEFAULT_LINT_PATHS)
+    out = sorted(
+        {
+            rel
+            for rel in diffed + untracked
+            if rel.endswith(".py")
+            and rel.startswith(prefixes)
+            and os.path.isfile(os.path.join(root, rel))
+        }
+    )
+    return out
 
 
 def _print_report(report: Report) -> None:
@@ -92,13 +197,18 @@ def _print_report(report: Report) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "explain":
+        if len(argv) != 2:
+            print("usage: python -m repro.analysis explain <rule-id>",
+                  file=sys.stderr)
+            return 1
+        return _explain(argv[1])
+
     args = _build_parser().parse_args(argv)
 
     if args.list_rules:
-        # Importing rules registers them; Analyzer does so lazily, so
-        # force it here for the bare listing.
-        from . import rules as _rules  # noqa: F401
-
+        load_rules()
         for rule_id in sorted(RULE_REGISTRY):
             print(f"{rule_id}: {RULE_REGISTRY[rule_id].description}")
         for rule_id in sorted(META_RULES):
@@ -108,9 +218,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     root = os.path.abspath(args.root) if args.root else find_repo_root()
     baseline_path = args.baseline or os.path.join(root, BASELINE_FILENAME)
     paths = args.paths or None
+    cache_path = None if args.no_cache else os.path.join(root, CACHE_FILENAME)
+
+    if args.changed is not None:
+        changed = _changed_files(root, args.changed)
+        if changed is None:
+            print(
+                f"warning: could not diff against {args.changed!r}; "
+                "linting everything",
+                file=sys.stderr,
+            )
+        elif not changed:
+            print(f"reprolint v{RULES_VERSION}: no files changed vs "
+                  f"{args.changed}")
+            return 0
+        else:
+            paths = changed
+            # A subset lint has a different target list, so it would
+            # evict the full-lint cache entry; keep the cache for full
+            # runs only.
+            cache_path = None
 
     if args.write_baseline:
-        analyzer = Analyzer(root, paths=paths)
+        analyzer = Analyzer(root, paths=paths, jobs=args.jobs)
         findings, n_files, _ = analyzer.run()
         baseline = Baseline.from_findings(findings, RULES_VERSION)
         baseline.write(baseline_path)
@@ -121,11 +251,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     try:
-        report = run_analysis(root, paths=paths, baseline_path=baseline_path)
+        report = run_analysis(
+            root,
+            paths=paths,
+            baseline_path=baseline_path,
+            cache_path=cache_path,
+            jobs=args.jobs,
+        )
     except BaselineIntegrityError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.sarif is not None:
+        from .sarif import write_sarif
+
+        load_rules()
+        write_sarif(
+            args.sarif,
+            report.new_findings,
+            list(RULE_REGISTRY.values()),
+            report.rules_version,
+        )
     if args.json is not None:
         payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
         if args.json == "-":

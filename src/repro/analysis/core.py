@@ -7,12 +7,19 @@ only):
 - :class:`FileContext` - a parsed source file plus its inline
   suppression comments (``# reprolint: allow[rule-id] reason``);
 - :class:`ProjectIndex` - repo-wide lookup tables (module functions,
-  test node ids, the telemetry event-kind vocabulary) that cross-file
-  rules need;
-- :class:`Rule` / :data:`RULE_REGISTRY` - the rule plug-in surface;
-- :class:`Analyzer` - walks the lint targets, applies every registered
-  rule, filters suppressed findings, and emits the meta findings
-  (``bad-suppression``, ``unused-suppression``);
+  test node ids, the telemetry event-kind vocabulary) plus the
+  :class:`repro.analysis.index.SemanticIndex` (import graph, symbol
+  tables, call graph) that the whole-program rules run on;
+- :class:`Rule` / :data:`RULE_REGISTRY` - the rule plug-in surface.
+  Rules declare a ``scope``: ``"file"`` rules run per lint target,
+  ``"project"`` rules run once over the semantic index.  File rules
+  whose output depends only on their own file set ``cacheable = True``
+  and participate in the incremental result cache;
+- :class:`Analyzer` - hashes and (on cache miss) parses the lint
+  targets, applies every registered rule - optionally fanning file
+  analysis out over supervised worker processes - filters suppressed
+  findings, and emits the meta findings (``bad-suppression``,
+  ``unused-suppression``);
 - :class:`Report` - the result bundle the CLI and the telemetry
   provenance hook consume.
 """
@@ -20,6 +27,7 @@ only):
 from __future__ import annotations
 
 import ast
+import inspect
 import io
 import os
 import re
@@ -87,6 +95,17 @@ class Finding:
             "message": self.message,
             "snippet": self.snippet,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=str(data["message"]),
+            snippet=str(data.get("snippet", "")),
+        )
 
 
 @dataclass
@@ -188,6 +207,7 @@ class ProjectIndex:
         self.files: Dict[str, FileContext] = {}
         self._functions: Optional[Set[str]] = None
         self._event_kinds: Optional[Tuple[str, ...]] = None
+        self._semantic = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -210,7 +230,22 @@ class ProjectIndex:
             return None
         self.files[relpath] = ctx
         self._functions = None
+        self._semantic = None
         return ctx
+
+    # ------------------------------------------------------------------
+    @property
+    def semantic(self):
+        """The two-pass :class:`~repro.analysis.index.SemanticIndex`.
+
+        Built lazily over every parsed file and invalidated when one is
+        added, so rules always resolve names against the full project.
+        """
+        if self._semantic is None:
+            from .index import SemanticIndex
+
+            self._semantic = SemanticIndex.build(self.files)
+        return self._semantic
 
     # ------------------------------------------------------------------
     @property
@@ -289,17 +324,36 @@ class Rule:
     """Base class for reprolint rules.
 
     Subclasses set :attr:`id`/:attr:`description` and implement
-    :meth:`check` yielding raw findings; the analyzer applies inline
-    suppressions afterwards (rules needing finer-grained suppression
-    logic, e.g. over several candidate lines, may consult
-    ``ctx.is_suppressed`` themselves and emit nothing).
+    :meth:`check` (file scope) or :meth:`check_project` (project scope)
+    yielding raw findings; the analyzer applies inline suppressions
+    afterwards (rules needing finer-grained suppression logic, e.g. over
+    several candidate lines, may consult ``ctx.is_suppressed`` themselves
+    and emit nothing).
+
+    ``scope = "file"`` rules run once per lint target; ``"project"``
+    rules run once per analysis over the full semantic index and may
+    anchor findings in any indexed file.  A file rule whose findings
+    depend only on its own file's content sets ``cacheable = True`` and
+    is skipped on warm incremental runs; rules that read other files
+    through the index (event vocabularies, symbol resolution) must leave
+    it False.
     """
 
     id: str = ""
     description: str = ""
+    scope: str = "file"
+    cacheable: bool = False
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
         raise NotImplementedError
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def explain(self) -> str:
+        """Long-form policy text for ``reprolint explain <rule-id>``."""
+        doc = inspect.getdoc(type(self))
+        return doc or self.description
 
     # Helper for subclasses.
     def finding(
@@ -330,6 +384,12 @@ def register_rule(cls):
         raise ValueError(f"duplicate rule id {instance.id!r}")
     RULE_REGISTRY[instance.id] = instance
     return cls
+
+
+def load_rules() -> None:
+    """Import every rule module, populating :data:`RULE_REGISTRY`."""
+    from . import rules as _rules  # noqa: F401
+    from . import flowrules as _flowrules  # noqa: F401
 
 
 # ----------------------------------------------------------------------
@@ -379,36 +439,153 @@ class Report:
         }
 
 
+def _analyze_shard(args: Tuple[str, Tuple[str, ...]]):
+    """Worker entrypoint for ``--jobs`` fan-out: lint one file shard.
+
+    Runs in a spawned process (via
+    :func:`repro.harness.supervisor.supervised_map`), so it rebuilds the
+    project index from disk and returns plain JSON-able data: per file,
+    the raw pre-suppression findings of every file-scope rule plus the
+    suppressions consumed during the check phase (the parent replays the
+    marks into its own contexts - worker state dies with the worker).
+    """
+    root, rels = args
+    analyzer = Analyzer(root)
+    index = analyzer.index
+    out = []
+    for rel in rels:
+        ctx = index.files.get(rel) or index.add_file(rel)
+        if ctx is None:
+            out.append((rel, None, []))
+            continue
+        per_rule, _, used_all = analyzer._run_file_rules(ctx)
+        out.append(
+            (
+                rel,
+                {rid: [f.to_dict() for f in fs] for rid, fs in per_rule.items()},
+                used_all,
+            )
+        )
+    return out
+
+
 class Analyzer:
-    """Run every registered rule over the lint targets."""
+    """Run every registered rule over the lint targets.
+
+    ``cache_path`` enables the incremental result cache
+    (:mod:`repro.analysis.cache`); ``jobs > 1`` fans file-scope rule
+    execution out over supervised worker processes.
+    """
 
     def __init__(
         self,
         root: str,
         paths: Optional[Sequence[str]] = None,
         rules: Optional[Dict[str, Rule]] = None,
+        cache_path: Optional[str] = None,
+        jobs: int = 1,
     ) -> None:
-        # Rules live in repro.analysis.rules; importing it registers them.
-        from . import rules as _rules  # noqa: F401
-
+        load_rules()
         self.root = os.path.abspath(root)
         self.paths = list(paths) if paths else [
             p for p in DEFAULT_LINT_PATHS if os.path.exists(os.path.join(root, p))
         ]
         self.rules = dict(rules) if rules is not None else dict(RULE_REGISTRY)
-        self.index = ProjectIndex.build(self.root)
+        self.cache_path = cache_path
+        self.jobs = max(1, int(jobs))
+        # Parsed lazily: the warm full-hit cache path never needs it.
+        self._index: Optional[ProjectIndex] = None
+
+    @property
+    def index(self) -> ProjectIndex:
+        if self._index is None:
+            self._index = ProjectIndex.build(self.root)
+        return self._index
+
+    # ------------------------------------------------------------------
+    def _rule_groups(self):
+        file_rules = [r for r in self.rules.values() if r.scope == "file"]
+        return (
+            [r for r in file_rules if r.cacheable],
+            [r for r in file_rules if not r.cacheable],
+            [r for r in self.rules.values() if r.scope == "project"],
+        )
+
+    def _run_file_rules(self, ctx: FileContext):
+        """All file-scope rules on one context.
+
+        Returns ``(per_rule_findings, used_cacheable, used_all)`` where
+        the ``used_*`` lists are ``[line, rule-id]`` pairs of
+        suppressions consumed *during the check phase* (only
+        self-suppressing rules do that); ``used_cacheable`` is the
+        snapshot after the cacheable rules and is what the cache stores.
+        """
+        cacheable, uncacheable, _ = self._rule_groups()
+        per_rule: Dict[str, List[Finding]] = {}
+        for rule in cacheable:
+            per_rule[rule.id] = list(rule.check(ctx, self.index))
+        used_cacheable = [
+            [sup.target_line, sup.rule] for sup in ctx.suppressions if sup.used
+        ]
+        for rule in uncacheable:
+            per_rule[rule.id] = list(rule.check(ctx, self.index))
+        used_all = [
+            [sup.target_line, sup.rule] for sup in ctx.suppressions if sup.used
+        ]
+        return per_rule, used_cacheable, used_all
+
+    @staticmethod
+    def _replay_used(ctx: FileContext, used: Iterable[Sequence[object]]) -> None:
+        for pair in used:
+            line, rule_id = int(pair[0]), str(pair[1])
+            for sup in ctx.suppressions:
+                if sup.target_line == line and sup.rule == rule_id:
+                    sup.used = True
 
     # ------------------------------------------------------------------
     def run(self) -> Tuple[List[Finding], int, int]:
         """All unsuppressed findings, files-checked count, and the number
         of honoured suppression comments."""
-        findings: List[Finding] = []
-        suppressed = 0
+        from .rules import RULES_VERSION
+
         targets = iter_python_files(self.root, self.paths)
+
+        cache = sig = hashes = None
+        if self.cache_path:
+            from .cache import ResultCache, hash_file, project_signature
+
+            cache = ResultCache.load(self.cache_path, RULES_VERSION)
+            hashes = {
+                rel: hash_file(os.path.join(self.root, rel))
+                for rel in iter_python_files(self.root, INDEX_PATHS)
+            }
+            for rel in targets:  # targets outside INDEX_PATHS still key
+                if rel not in hashes:
+                    hashes[rel] = hash_file(os.path.join(self.root, rel))
+            sig = project_signature(
+                RULES_VERSION, sorted(self.rules), hashes, targets
+            )
+            hit = cache.full_result(sig)
+            if hit is not None:
+                findings = [
+                    Finding.from_dict(d) for d in hit.get("findings", [])
+                ]
+                return findings, int(hit["files_checked"]), int(hit["suppressed"])
+
+        raw: List[Finding] = []
+        parse_failures: List[Finding] = []
+        file_entries: Dict[str, Dict[str, object]] = {}
+        cacheable, uncacheable, project_rules = self._rule_groups()
+        cacheable_ids = {r.id for r in cacheable}
+
+        shard_results: Dict[str, Tuple[Optional[Dict], List]] = {}
+        if self.jobs > 1 and len(targets) > 1:
+            shard_results = self._fan_out(targets)
+
         for rel in targets:
             ctx = self.index.files.get(rel) or self.index.add_file(rel)
             if ctx is None:
-                findings.append(
+                parse_failures.append(
                     Finding(
                         rule="parse-error",
                         path=rel,
@@ -418,17 +595,107 @@ class Analyzer:
                     )
                 )
                 continue
-            for rule in self.rules.values():
-                for finding in rule.check(ctx, self.index):
-                    sup = ctx.suppression_for(finding.line, finding.rule)
-                    if sup is not None and sup.reason:
-                        sup.used = True
-                        continue
-                    findings.append(finding)
+            if rel in shard_results:
+                per_dicts, used_all = shard_results[rel]
+                per_rule = {
+                    rid: [Finding.from_dict(d) for d in ds]
+                    for rid, ds in (per_dicts or {}).items()
+                }
+                self._replay_used(ctx, used_all)
+                used_cacheable = [
+                    pair for pair in used_all if pair[1] in cacheable_ids
+                ]
+            else:
+                entry = (
+                    cache.file_entry(rel, hashes.get(rel))
+                    if cache is not None
+                    else None
+                )
+                if entry is not None:
+                    per_rule = {
+                        rid: [Finding.from_dict(d) for d in ds]
+                        for rid, ds in entry.get("raw", {}).items()
+                    }
+                    used_cacheable = list(entry.get("used", []))
+                    self._replay_used(ctx, used_cacheable)
+                    for rule in uncacheable:
+                        per_rule[rule.id] = list(rule.check(ctx, self.index))
+                else:
+                    per_rule, used_cacheable, _ = self._run_file_rules(ctx)
+            for findings in per_rule.values():
+                raw.extend(findings)
+            if cache is not None:
+                file_entries[rel] = {
+                    "hash": hashes.get(rel),
+                    "raw": {
+                        rid: [f.to_dict() for f in per_rule.get(rid, [])]
+                        for rid in sorted(cacheable_ids)
+                    },
+                    "used": used_cacheable,
+                }
+
+        for rule in project_rules:
+            raw.extend(rule.check_project(self.index))
+
+        findings = list(parse_failures)
+        for finding in raw:
+            ctx = self.index.files.get(finding.path)
+            if ctx is not None:
+                sup = ctx.suppression_for(finding.line, finding.rule)
+                if sup is not None and sup.reason:
+                    sup.used = True
+                    continue
+            findings.append(finding)
+
+        suppressed = 0
+        for rel in targets:
+            ctx = self.index.files.get(rel)
+            if ctx is None:
+                continue
             findings.extend(self._meta_findings(ctx))
             suppressed += sum(1 for sup in ctx.suppressions if sup.used)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+        if cache is not None and sig is not None:
+            cache.store(
+                sig,
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "files_checked": len(targets),
+                    "suppressed": suppressed,
+                },
+                file_entries,
+            )
+            cache.write()
         return findings, len(targets), suppressed
+
+    # ------------------------------------------------------------------
+    def _fan_out(self, targets: Sequence[str]):
+        """Shard targets over supervised worker processes.
+
+        Degrades silently to the serial path on any fan-out failure -
+        multi-process lint is an optimisation, never a correctness
+        dependency.
+        """
+        try:
+            from ..harness.supervisor import supervised_map
+        except Exception:
+            return {}
+        n_shards = min(self.jobs, len(targets))
+        shards = [
+            (self.root, tuple(targets[i::n_shards])) for i in range(n_shards)
+        ]
+        try:
+            results = supervised_map(_analyze_shard, shards, jobs=self.jobs)
+        except Exception:
+            return {}
+        out: Dict[str, Tuple[Optional[Dict], List]] = {}
+        for shard in results:
+            if shard is None:
+                continue
+            for rel, per_dicts, used_all in shard:
+                out[rel] = (per_dicts, used_all)
+        return out
 
     # ------------------------------------------------------------------
     def _meta_findings(self, ctx: FileContext) -> List[Finding]:
@@ -482,8 +749,15 @@ def run_analysis(
     root: str,
     paths: Optional[Sequence[str]] = None,
     baseline_path: Optional[str] = None,
+    cache_path: Optional[str] = None,
+    jobs: int = 1,
 ) -> Report:
     """Lint ``root`` and split findings against the committed baseline.
+
+    The incremental cache is OFF unless ``cache_path`` is given: this
+    function also runs inside placements (telemetry provenance) and must
+    never write files into the tree.  The CLI passes the conventional
+    cache path explicitly.
 
     Raises :class:`repro.analysis.baseline.BaselineIntegrityError` if the
     baseline file exists but fails its integrity check (hand-edited).
@@ -491,7 +765,7 @@ def run_analysis(
     from .baseline import Baseline
     from .rules import RULES_VERSION
 
-    analyzer = Analyzer(root, paths=paths)
+    analyzer = Analyzer(root, paths=paths, cache_path=cache_path, jobs=jobs)
     findings, n_files, suppressed = analyzer.run()
     baseline = Baseline.load(baseline_path) if baseline_path else Baseline.empty()
     new, grandfathered = baseline.split(findings)

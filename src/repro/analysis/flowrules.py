@@ -1,0 +1,701 @@
+"""Whole-program reprolint rules over the semantic index.
+
+These are the v2 rule families that per-file pattern matching cannot
+express: they consume :class:`repro.analysis.index.SemanticIndex`
+(import graph, symbol tables, approximate call graph) via
+``index.semantic``.
+
+- ``dtype-flow`` - float64 creep into the fp32-capable kernels;
+- ``spawn-safety`` - module-level state written on spawn-worker paths;
+- ``determinism-taint`` - clock/entropy/set-order values flowing into
+  telemetry manifests and gated metrics (replaces the old purely
+  syntactic ``seeded-rng`` rule, whose checks live on here);
+- ``contract-closure`` - every ``@differentiable`` string resolves to a
+  live symbol and a gradcheck test that still exercises the kernel.
+
+Importing this module registers the rules (see
+:func:`repro.analysis.core.load_rules`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .core import FileContext, Finding, ProjectIndex, Rule, register_rule
+from .index import ARRAY_NAMESPACES, NameResolver
+
+__all__ = ["SPAWN_SAFE_GLOBALS"]
+
+
+def _in_tests(ctx: FileContext) -> bool:
+    return ctx.relpath.startswith("tests/") or "/tests/" in ctx.relpath
+
+
+def _resolves_to_array_ns(resolver: Optional[NameResolver], node: ast.AST) -> bool:
+    """True if ``node`` denotes the numpy/``xp`` namespace *by import*.
+
+    This is the semantic replacement for the old bare-name ``np``/``xp``
+    match: a local variable that merely shadows the name resolves to
+    None and is not treated as the backend.
+    """
+    if resolver is None:
+        return False
+    return resolver.resolve_expr(node) in ARRAY_NAMESPACES
+
+
+def _resolved(resolver: Optional[NameResolver], node: ast.AST) -> Optional[str]:
+    if resolver is None:
+        return None
+    return resolver.resolve_expr(node)
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class DtypeFlow(Rule):
+    """Float64 must not leak into the fp32-capable kernel modules.
+
+    The planned spectral path (``precision="fp32"``) keeps its tables,
+    scratch and transforms in float32/complex64; a single float64 array
+    entering the pipeline silently promotes everything downstream and
+    destroys the fast path while producing plausible numbers.  Inside
+    the kernel modules this rule runs a small intraprocedural dtype
+    inference on every function except ``__init__`` (the documented
+    double-precision table-construction zone, where tables are built in
+    float64 and ``.astype``'d to the plan dtype once):
+
+    - fresh-array constructors (``xp.zeros``, ``full``, ``arange``, ...)
+      without ``dtype=`` allocate float64 implicitly - flagged unless
+      the result is ``.astype``'d later in the same function;
+    - ``xp.asarray``/``xp.array`` of float-literal content without
+      ``dtype=`` materialises float64 - flagged (python float *scalars*
+      in arithmetic are weak under NEP 50 and do not promote fp32
+      arrays, so bare literals in expressions are fine);
+    - ``.astype(float64)`` and ``dtype=float64`` *parameter defaults*
+      are explicit float64 introductions on a potentially fp32-reachable
+      path - flagged; intentional precision boundaries carry an inline
+      suppression naming the contract.
+
+    An explicit ``dtype=`` keyword (including ``dtype=xp.float64``) is
+    always accepted: the rule polices *silent* promotion, not deliberate
+    precision choices that review can see.
+    """
+
+    id = "dtype-flow"
+    description = (
+        "implicit float64 allocation/cast in the fp32-capable kernel modules"
+    )
+    scope = "file"
+    cacheable = True
+
+    #: The modules with an fp32 execution mode.  ``core/scatter.py`` is
+    #: dtype-polymorphic by construction (pure take/bincount) and is
+    #: policed by backend-shim-only instead.
+    _KERNEL_MODULES = (
+        "src/repro/core/fftplan.py",
+        "src/repro/core/smoothing.py",
+        "src/repro/place/density.py",
+        "src/repro/place/wirelength.py",
+    )
+    _FRESH_CONSTRUCTORS = (
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "arange",
+        "linspace",
+        "eye",
+        "identity",
+    )
+    _CONTENT_CONSTRUCTORS = ("asarray", "array", "ascontiguousarray")
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        if ctx.relpath not in self._KERNEL_MODULES:
+            return
+        resolver = index.semantic.resolver(ctx.relpath)
+        for qualname, fn in self._functions(ctx.tree):
+            if fn.name == "__init__":
+                continue
+            yield from self._check_function(ctx, resolver, qualname, fn)
+
+    @staticmethod
+    def _functions(tree: ast.Module):
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node.name, node
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield f"{node.name}.{sub.name}", sub
+
+    def _check_function(self, ctx, resolver, qualname, fn):
+        # Pass 1: names sanitised by a later ``.astype(...)`` in this
+        # function - allocating double and casting down is the accepted
+        # idiom for reductions that want float64 accumulation.
+        astyped: Set[str] = set()
+        assigned_from: Dict[int, str] = {}
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                astyped.add(node.func.value.id)
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigned_from[id(node.value)] = target.id
+
+        # Pass 2: float64-introducing sites.
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    ctx, resolver, qualname, node, astyped, assigned_from
+                )
+        for default in list(fn.args.defaults) + [
+            d for d in fn.args.kw_defaults if d is not None
+        ]:
+            if self._is_float64_attr(resolver, default):
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"{qualname}() defaults a parameter to float64; in an "
+                    "fp32-capable kernel the default must come from the plan "
+                    "dtype (or be an explicit argument at the call site)",
+                )
+
+    def _check_call(self, ctx, resolver, qualname, call, astyped, assigned_from):
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        # ``value.astype(float64)``: explicit promotion.
+        if func.attr == "astype" and call.args:
+            if self._is_float64_attr(resolver, call.args[0]):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f".astype(float64) in {qualname}() promotes an "
+                    "fp32-reachable value to double; keep the plan dtype, or "
+                    "suppress with the precision-boundary contract it "
+                    "implements",
+                )
+            return
+        if not _resolves_to_array_ns(resolver, func.value):
+            return
+        has_dtype = any(kw.arg == "dtype" for kw in call.keywords)
+        if func.attr in self._FRESH_CONSTRUCTORS and not has_dtype:
+            target = assigned_from.get(id(call))
+            if target is not None and target in astyped:
+                return  # allocated double, cast down later: sanitised
+            yield self.finding(
+                ctx,
+                call,
+                f"xp.{func.attr}(...) without dtype= in {qualname}() "
+                "allocates float64 and silently widens the fp32 path; pass "
+                "the plan dtype (or an explicit dtype=xp.float64 where the "
+                "float64 boundary is the contract)",
+            )
+        elif func.attr in self._CONTENT_CONSTRUCTORS and not has_dtype:
+            if self._has_float_literal(call):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"xp.{func.attr}(...) of float-literal content without "
+                    f"dtype= in {qualname}() materialises a float64 array; "
+                    "pass the plan dtype explicitly",
+                )
+
+    @staticmethod
+    def _is_float64_attr(resolver, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and node.value == "float64":
+            return True
+        resolved = _resolved(resolver, node)
+        return resolved is not None and (
+            resolved.endswith(".float64") and
+            any(resolved.startswith(ns + ".") for ns in ARRAY_NAMESPACES)
+        )
+
+    @staticmethod
+    def _has_float_literal(call: ast.Call) -> bool:
+        for arg in call.args:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, float
+                ):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+#: Module-level state that spawn workers are *allowed* to write, with the
+#: audit rationale.  Every entry is per-process by construction: a spawn
+#: worker gets a fresh module copy, mutates only its own, and nothing
+#: reads the value back across the process boundary.  An attribute write
+#: under an allowed prefix (e.g. ``PROFILER.enabled``) is covered by the
+#: prefix entry.
+SPAWN_SAFE_GLOBALS = {
+    # The worker marks itself as in-worker so nested fan-out is refused;
+    # written exactly once per process before any task runs.
+    "repro.harness.supervisor._IN_WORKER": "per-process worker marker",
+    # Per-process design-bundle memo; workers warm their own copy on
+    # spawn (that is the point of _preload_designs).
+    "repro.netlist.cache._MEMO": "per-process design cache",
+    "repro.netlist.cache._CODE_VERSION": "per-process cache-key memo",
+    # The profiler is per-process observability; records are exported
+    # through the task result, never shared memory.
+    "repro.perf.PROFILER": "per-process profiler state",
+    # Telemetry context slots: each worker installs its own recorder /
+    # heartbeat registration for the task it runs.
+    "repro.telemetry.events._CURRENT": "per-process recorder slot",
+    "repro.telemetry.registry._CURRENT": "per-process heartbeat slot",
+    # Cached os.sysconf page size; idempotent scalar.
+    "repro.telemetry.resources._PAGE_SIZE": "idempotent sysconf memo",
+}
+
+
+@register_rule
+class SpawnSafety(Rule):
+    """Spawn-worker code must not write unaudited module-level state.
+
+    Worker entrypoints are discovered syntactically (functions passed as
+    ``target=`` to a ``Process`` or ``initializer=`` to a pool) and the
+    approximate call graph is closed over them.  Any function in that
+    closure writing module-level state - ``global`` rebinding, attribute
+    assignment on a module-level object, subscript stores or mutating
+    method calls (``append``/``update``/``clear``/...) on module-level
+    containers - is flagged unless the state is in the audited
+    :data:`SPAWN_SAFE_GLOBALS` allowlist.
+
+    Module globals are per-process under the spawn start method, so such
+    writes are not data races in the classic sense; the failure mode is
+    subtler and worse: state mutated in a worker silently diverges from
+    the parent's copy, and code that later reads it in the parent (or in
+    a fork-started context) sees different values per process.  The
+    allowlist records exactly which globals are *designed* to be
+    per-process, with the audit rationale next to each entry.
+    """
+
+    id = "spawn-safety"
+    description = (
+        "unaudited module-level state written on a spawn-worker call path"
+    )
+    scope = "project"
+
+    _MUTATORS = {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+    }
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Finding]:
+        sem = index.semantic
+        closure = sem.call_closure(sorted(sem.spawn_entrypoints))
+        for canonical in sorted(closure):
+            entry = sem.functions.get(canonical)
+            if entry is None:
+                continue
+            relpath, info = entry
+            if relpath.startswith("tests/") or "/tests/" in relpath:
+                continue
+            ctx = index.files.get(relpath)
+            resolver = sem.resolver(relpath)
+            if ctx is None or resolver is None:
+                continue
+            yield from self._check_function(
+                ctx, resolver, sem, canonical, info.node
+            )
+
+    def _check_function(self, ctx, resolver, sem, canonical, fn):
+        seen: Set[Tuple[int, str]] = set()
+        for node in ast.walk(fn):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                written = self._written_global(resolver, target)
+                if written is not None and sem.is_module_global(written):
+                    yield from self._flag(
+                        ctx, canonical, node, written, seen
+                    )
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in self._MUTATORS:
+                    resolved = _resolved(resolver, node.func.value)
+                    if resolved is not None and sem.is_module_global(resolved):
+                        yield from self._flag(
+                            ctx, canonical, node, resolved, seen
+                        )
+
+    @staticmethod
+    def _written_global(resolver, target: ast.AST) -> Optional[str]:
+        """Canonical name of the module-level state a store hits, if any."""
+        # Unwrap subscript stores: X[k] = v mutates X.
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, (ast.Name, ast.Attribute)):
+            return _resolved(resolver, target)
+        return None
+
+    def _allowed(self, canonical_state: str) -> bool:
+        for allowed in SPAWN_SAFE_GLOBALS:
+            if canonical_state == allowed or canonical_state.startswith(
+                allowed + "."
+            ):
+                return True
+        return False
+
+    def _flag(self, ctx, canonical_fn, node, state, seen):
+        if self._allowed(state):
+            return
+        key = (node.lineno, state)
+        if key in seen:
+            return
+        seen.add(key)
+        yield self.finding(
+            ctx,
+            node,
+            f"{canonical_fn}() is reachable from a spawn-worker entrypoint "
+            f"and writes module-level state {state!r}; per-process divergence "
+            "is invisible until it bites - pass the state through the task "
+            "payload, or audit it into SPAWN_SAFE_GLOBALS with a rationale",
+        )
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class DeterminismTaint(Rule):
+    """Nondeterministic values must not flow into gated telemetry sinks.
+
+    The CI byte-identity gates compare manifests and metric records
+    across runs; anything derived from wall clocks, OS entropy, or set
+    iteration order breaks them one flaky build at a time.  This rule
+    runs an intraprocedural taint analysis per function:
+
+    - **sources**: ``time.time``/``time.time_ns``/``monotonic``/
+      ``perf_counter``, ``datetime.now``/``utcnow``/``today`` (clock);
+      ``os.urandom`` and unseeded ``default_rng()`` (entropy); iteration
+      of set displays/constructors into ordered containers (order);
+    - **sanitizers**: ``sorted(...)`` clears order taint;
+    - **sinks**: ``.event(...)`` telemetry calls,
+      ``append_record``/``write_manifest``, and
+      ``RunManifest``/``RunRecord`` construction.
+
+    Wall-clock-*class* fields (``ts``, ``runtime_s``, ``setup_s``, ...)
+    are exempt at the sink: the comparator in
+    ``repro.telemetry.compare`` never gates on them, so timestamps may
+    flow there freely.  Everything else - metrics, ids, counts - must be
+    derived deterministically.
+
+    The old syntactic ``seeded-rng`` checks live on here as standalone
+    findings: process-global ``np.random`` state and ``default_rng()``
+    without a seed are flagged wherever they appear (sink or not), now
+    resolved through the import index instead of bare-name matching.
+    """
+
+    id = "determinism-taint"
+    description = (
+        "clock/entropy/set-order values flowing into telemetry sinks; "
+        "global np.random state; unseeded default_rng()"
+    )
+    scope = "file"
+    cacheable = True
+
+    _CLOCK_FUNCS = {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+    _ENTROPY_FUNCS = {"os.urandom"}
+    #: Sink fields the comparator never gates on (wall-clock class); see
+    #: repro.telemetry.compare.GATED_METRICS for what *is* gated.
+    _EXEMPT_FIELDS = {
+        "ts",
+        "ts_mono",
+        "anchor_ts",
+        "timestamp",
+        "started_at",
+        "finished_at",
+        "runtime",
+        "runtime_s",
+        "setup_s",
+        "elapsed_s",
+        "duration_s",
+        "wall_s",
+        "delay_s",
+        "time_s",
+    }
+    _SINK_ATTRS = {"event"}
+    _SINK_NAMES = {"append_record", "write_manifest", "RunManifest", "RunRecord"}
+
+    _GLOBAL_STATE = {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
+        if _in_tests(ctx):
+            return
+        resolver = index.semantic.resolver(ctx.relpath)
+        yield from self._standalone(ctx, resolver)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, resolver, node)
+
+    # -- standalone RNG hygiene (the seeded-rng heritage) ---------------
+    def _standalone(self, ctx, resolver):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                inner = node.value
+                if (
+                    isinstance(inner, ast.Attribute)
+                    and inner.attr == "random"
+                    and _resolves_to_array_ns(resolver, inner.value)
+                    and node.attr in self._GLOBAL_STATE
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"np.random.{node.attr} uses process-global RNG state; "
+                        "thread an explicitly seeded np.random.default_rng "
+                        "through instead",
+                    )
+            if isinstance(node, ast.Call) and self._is_unseeded_rng(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed draws OS entropy and is "
+                    "not reproducible; pass an explicit seed",
+                )
+
+    @staticmethod
+    def _is_unseeded_rng(call: ast.Call) -> bool:
+        if call.args or call.keywords:
+            return False
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id == "default_rng"
+        return isinstance(func, ast.Attribute) and func.attr == "default_rng"
+
+    # -- intraprocedural taint ------------------------------------------
+    def _check_function(self, ctx, resolver, fn):
+        tainted: Dict[str, str] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                kind = self._expr_taint(resolver, node.value, tainted)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if kind is not None:
+                            tainted[target.id] = kind
+                        else:
+                            tainted.pop(target.id, None)
+            elif isinstance(node, ast.Call):
+                yield from self._check_sink(ctx, resolver, node, tainted)
+
+    def _check_sink(self, ctx, resolver, call, tainted):
+        func = call.func
+        is_sink = False
+        sink_name = None
+        if isinstance(func, ast.Attribute) and func.attr in self._SINK_ATTRS:
+            is_sink, sink_name = True, func.attr
+        else:
+            resolved = _resolved(resolver, func)
+            leaf = resolved.split(".")[-1] if resolved else None
+            bare = func.id if isinstance(func, ast.Name) else None
+            if leaf in self._SINK_NAMES or bare in self._SINK_NAMES:
+                is_sink, sink_name = True, leaf or bare
+        if not is_sink:
+            return
+        for arg in call.args:
+            kind = self._expr_taint(resolver, arg, tainted)
+            if kind is not None:
+                yield self._taint_finding(ctx, arg, kind, sink_name, None)
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in self._EXEMPT_FIELDS:
+                continue
+            kind = self._expr_taint(resolver, kw.value, tainted)
+            if kind is not None:
+                yield self._taint_finding(ctx, kw.value, kind, sink_name, kw.arg)
+
+    def _taint_finding(self, ctx, node, kind, sink, field):
+        where = f"field {field!r} of" if field else "an argument of"
+        return self.finding(
+            ctx,
+            node,
+            f"{kind}-tainted value flows into {where} telemetry sink "
+            f"{sink}(); gated comparisons will differ across runs - derive "
+            "it deterministically (or route wall-clock data through the "
+            "exempt ts/runtime fields)",
+        )
+
+    def _expr_taint(
+        self, resolver, expr: ast.AST, tainted: Dict[str, str]
+    ) -> Optional[str]:
+        """Taint kind of an expression, or None if clean."""
+        if isinstance(expr, ast.Name):
+            return tainted.get(expr.id)
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id == "sorted":
+                # sorted() is the order sanitizer; clock/entropy taint in
+                # the sorted values still flows through.
+                kinds = [
+                    self._expr_taint(resolver, a, tainted) for a in expr.args
+                ]
+                kinds = [k for k in kinds if k is not None and k != "order"]
+                return kinds[0] if kinds else None
+            resolved = _resolved(resolver, func)
+            if resolved in self._CLOCK_FUNCS:
+                return "clock"
+            if resolved in self._ENTROPY_FUNCS or self._is_unseeded_rng(expr):
+                return "entropy"
+            if self._is_set_expr(func, expr):
+                return "order"
+            for sub in list(expr.args) + [kw.value for kw in expr.keywords]:
+                kind = self._expr_taint(resolver, sub, tainted)
+                if kind is not None:
+                    return kind
+            # A method call on a tainted receiver stays tainted:
+            # os.urandom(8).hex(), datetime.now().isoformat(), ...
+            if isinstance(func, ast.Attribute):
+                return self._expr_taint(resolver, func.value, tainted)
+            return None
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            for comp in expr.generators:
+                if self._is_set_valued(comp.iter, tainted):
+                    return "order"
+            kind = self._expr_taint(resolver, expr.elt, tainted)
+            return kind
+        if isinstance(expr, ast.Set):
+            return None  # a set itself is fine; *ordering* it taints
+        for child in ast.iter_child_nodes(expr):
+            kind = self._expr_taint(resolver, child, tainted)
+            if kind is not None:
+                return kind
+        return None
+
+    @staticmethod
+    def _is_set_expr(func: ast.AST, call: ast.Call) -> bool:
+        """``list(<set-ish>)``: ordering a set without sorting."""
+        if not (isinstance(func, ast.Name) and func.id in ("list", "tuple")):
+            return False
+        return bool(call.args) and DeterminismTaint._is_set_valued(
+            call.args[0], {}
+        )
+
+    @staticmethod
+    def _is_set_valued(expr: ast.AST, tainted: Dict[str, str]) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in ("set", "frozenset")
+        if isinstance(expr, ast.Name):
+            return tainted.get(expr.id) == "order"
+        return False
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class ContractClosure(Rule):
+    """Every ``@differentiable`` contract string must close the loop.
+
+    ``backward-pair`` checks the decorator is *present* and well-formed;
+    this rule checks the strings still *mean* something after renames:
+
+    - the declared ``backward=`` dotted name must resolve - through
+      import aliases - to a function in the semantic index;
+    - the declared ``gradcheck=`` pytest node id must resolve to a real
+      test function under ``tests/``;
+    - the gradcheck's test file must still reference the forward or
+      backward kernel by name, so renaming a kernel (and fixing the
+      decorator) cannot leave the gradcheck silently exercising nothing.
+
+    Together with ``repro.contracts.KERNEL_REGISTRY`` (the runtime view
+    of the same decorators), this keeps the differentiability contracts
+    of the paper's kernels verifiable from either side.
+    """
+
+    id = "contract-closure"
+    description = (
+        "@differentiable backward=/gradcheck= strings must resolve to live "
+        "symbols and a test that references the kernel"
+    )
+    scope = "project"
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Finding]:
+        sem = index.semantic
+        for site in sem.contracts:
+            if not site.relpath.startswith("src/"):
+                continue
+            ctx = index.files.get(site.relpath)
+            if ctx is None:
+                continue
+            if site.backward is None or site.gradcheck is None:
+                continue  # malformed decorators are backward-pair findings
+            name = site.qualname
+            backward_ok = sem.resolve_symbol(site.backward) is not None
+            if not backward_ok:
+                yield self.finding(
+                    ctx,
+                    site.node,
+                    f"{name}() declares backward {site.backward!r}, which "
+                    "does not resolve to any function in the project index",
+                )
+            if not index.has_test(site.gradcheck):
+                yield self.finding(
+                    ctx,
+                    site.node,
+                    f"{name}() declares gradcheck {site.gradcheck!r}, which "
+                    "does not resolve to a test in the suite",
+                )
+                continue
+            test_rel = site.gradcheck.split("::")[0]
+            tctx = index.files.get(test_rel) or index.add_file(test_rel)
+            if tctx is None:
+                continue
+            leaves = {name.split(".")[-1], site.backward.split(".")[-1]}
+            pattern = re.compile(
+                r"\b(" + "|".join(re.escape(leaf) for leaf in leaves) + r")\b"
+            )
+            if not pattern.search(tctx.source):
+                yield self.finding(
+                    ctx,
+                    site.node,
+                    f"gradcheck {site.gradcheck!r} of {name}() never "
+                    f"references {sorted(leaves)}; the test no longer "
+                    "exercises this kernel (renamed without updating the "
+                    "gradcheck?)",
+                )

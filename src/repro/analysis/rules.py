@@ -13,18 +13,26 @@ import difflib
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .core import FileContext, Finding, ProjectIndex, Rule, register_rule
+from .index import ARRAY_NAMESPACES, NameResolver
 
 __all__ = ["RULES_VERSION"]
 
 #: Bumped whenever a rule is added, removed, or changes what it flags;
-#: recorded in baselines and in telemetry run manifests.
-RULES_VERSION = "1.2"
+#: recorded in baselines, in telemetry run manifests, and in the
+#: incremental result cache key.
+RULES_VERSION = "2.0"
 
 
-def _is_numpy(node: ast.AST) -> bool:
+def _is_numpy(node: ast.AST, resolver: Optional[NameResolver] = None) -> bool:
     # ``xp`` is the backend shim's numpy-compatible namespace
     # (repro.core.backend): every numpy contract these rules police
-    # applies unchanged to kernels ported onto it.
+    # applies unchanged to kernels ported onto it.  With a resolver the
+    # name is traced through the module's import table, so a local
+    # variable that merely shadows ``np``/``xp`` does not count as the
+    # backend; the bare-name fallback survives only for files absent
+    # from the semantic index.
+    if resolver is not None:
+        return resolver.resolve_expr(node) in ARRAY_NAMESPACES
     return isinstance(node, ast.Name) and node.id in ("np", "numpy", "xp")
 
 
@@ -49,6 +57,7 @@ class NoScatterAddAt(Rule):
     description = (
         "use repro.core.scatter helpers instead of np.add.at/np.subtract.at"
     )
+    cacheable = True
 
     _UFUNCS = ("add", "subtract")
     _ALLOWED_FILES = (
@@ -60,6 +69,7 @@ class NoScatterAddAt(Rule):
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
         if _in_tests(ctx) or ctx.relpath in self._ALLOWED_FILES:
             return
+        resolver = index.semantic.resolver(ctx.relpath)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Attribute) or node.attr != "at":
                 continue
@@ -67,7 +77,7 @@ class NoScatterAddAt(Rule):
             if (
                 isinstance(inner, ast.Attribute)
                 and inner.attr in self._UFUNCS
-                and _is_numpy(inner.value)
+                and _is_numpy(inner.value, resolver)
             ):
                 yield self.finding(
                     ctx,
@@ -94,12 +104,14 @@ class NoSilentNanFix(Rule):
     description = (
         "np.nan_to_num / np.errstate(invalid='ignore') outside runtime/guard.py"
     )
+    cacheable = True
 
     _ALLOWED_FILES = ("src/repro/runtime/guard.py",)
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
         if ctx.relpath in self._ALLOWED_FILES or _in_tests(ctx):
             return
+        resolver = index.semantic.resolver(ctx.relpath)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -107,7 +119,7 @@ class NoSilentNanFix(Rule):
             if (
                 isinstance(func, ast.Attribute)
                 and func.attr == "nan_to_num"
-                and _is_numpy(func.value)
+                and _is_numpy(func.value, resolver)
             ):
                 yield self.finding(
                     ctx,
@@ -119,7 +131,7 @@ class NoSilentNanFix(Rule):
             elif (
                 isinstance(func, ast.Attribute)
                 and func.attr == "errstate"
-                and _is_numpy(func.value)
+                and _is_numpy(func.value, resolver)
             ):
                 for kw in node.keywords:
                     if (
@@ -138,71 +150,9 @@ class NoSilentNanFix(Rule):
 
 
 # ----------------------------------------------------------------------
-@register_rule
-class SeededRng(Rule):
-    """Global numpy RNG state and unseeded generators are banned.
-
-    Every random draw in library code must come from an explicitly
-    seeded ``np.random.default_rng(seed)`` (or ``Generator``) threaded
-    through the call stack, or runs are not reproducible.  Tests are
-    exempt (they seed locally as they see fit).
-    """
-
-    id = "seeded-rng"
-    description = "no global np.random state; default_rng() must take a seed"
-
-    _GLOBAL_STATE = {
-        "seed",
-        "rand",
-        "randn",
-        "randint",
-        "random",
-        "random_sample",
-        "choice",
-        "shuffle",
-        "permutation",
-        "uniform",
-        "normal",
-        "standard_normal",
-        "exponential",
-        "get_state",
-        "set_state",
-        "RandomState",
-    }
-
-    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
-        if _in_tests(ctx):
-            return
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Attribute):
-                inner = node.value
-                if (
-                    isinstance(inner, ast.Attribute)
-                    and inner.attr == "random"
-                    and _is_numpy(inner.value)
-                    and node.attr in self._GLOBAL_STATE
-                ):
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"np.random.{node.attr} uses process-global RNG state; "
-                        "thread an explicitly seeded np.random.default_rng "
-                        "through instead",
-                    )
-            if isinstance(node, ast.Call) and not node.args and not node.keywords:
-                func = node.func
-                name = None
-                if isinstance(func, ast.Name) and func.id == "default_rng":
-                    name = "default_rng"
-                elif isinstance(func, ast.Attribute) and func.attr == "default_rng":
-                    name = "default_rng"
-                if name is not None:
-                    yield self.finding(
-                        ctx,
-                        node,
-                        "default_rng() without a seed draws OS entropy and is "
-                        "not reproducible; pass an explicit seed",
-                    )
+# The syntactic SeededRng rule lived here through RULES_VERSION 1.x; its
+# checks moved into flowrules.DeterminismTaint ("determinism-taint"),
+# which additionally traces tainted values into telemetry sinks.
 
 
 # ----------------------------------------------------------------------
@@ -269,6 +219,7 @@ class CheckpointCompleteness(Rule):
 
     id = "checkpoint-completeness"
     description = "attributes mutated by state providers must be in get_state"
+    cacheable = True
 
     _EXCLUDED_METHODS = {"__init__", "get_state", "set_state"}
 
@@ -376,16 +327,19 @@ class BackwardPair(Rule):
 
     Module-level functions named ``*_forward*`` under ``core/`` or
     ``sta/`` must carry the ``@differentiable(backward=..., gradcheck=
-    ...)`` decorator (:mod:`repro.contracts`); the declared backward
-    function must exist in the source tree and the gradcheck pytest node
-    id must resolve.  Forward kernels that genuinely have no adjoint
-    (e.g. exact hard-max siblings) are suppressed inline with a reason.
+    ...)`` decorator (:mod:`repro.contracts`) with both arguments as
+    string literals.  Whether those strings still *resolve* - to a live
+    function and a test that exercises the kernel - is checked by the
+    project-scope ``contract-closure`` rule on the semantic index.
+    Forward kernels that genuinely have no adjoint (e.g. exact hard-max
+    siblings) are suppressed inline with a reason.
     """
 
     id = "backward-pair"
     description = (
         "forward kernels in core//sta/ must declare backward + gradcheck"
     )
+    cacheable = True
 
     _KERNEL_DIRS = ("src/repro/core/", "src/repro/sta/")
 
@@ -412,21 +366,6 @@ class BackwardPair(Rule):
                     deco,
                     f"@differentiable on {node.name}() must pass both "
                     "backward= and gradcheck= as string literals",
-                )
-                continue
-            if not index.has_function(backward):
-                yield self.finding(
-                    ctx,
-                    deco,
-                    f"{node.name}() declares backward {backward!r}, which "
-                    "does not exist in the source tree",
-                )
-            if not index.has_test(gradcheck):
-                yield self.finding(
-                    ctx,
-                    deco,
-                    f"{node.name}() declares gradcheck {gradcheck!r}, which "
-                    "does not resolve to a test in the suite",
                 )
 
     # ------------------------------------------------------------------
@@ -482,6 +421,7 @@ class BackendShimOnly(Rule):
         "kernel modules must use repro.core.backend (xp / get_backend), "
         "never numpy/scipy directly"
     )
+    cacheable = True
 
     #: The modules ported to the shim.  Extend this list as more kernels
     #: are converted; the rule intentionally does NOT cover the rest of
@@ -499,6 +439,7 @@ class BackendShimOnly(Rule):
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterable[Finding]:
         if ctx.relpath not in self._KERNEL_MODULES:
             return
+        resolver = index.semantic.resolver(ctx.relpath)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -521,10 +462,19 @@ class BackendShimOnly(Rule):
                         "methods from repro.core.backend",
                     )
             elif isinstance(node, ast.Attribute):
-                if (
-                    isinstance(node.value, ast.Name)
-                    and node.value.id in self._FORBIDDEN_NAMES
-                ):
+                if not isinstance(node.value, ast.Name):
+                    continue
+                if resolver is not None:
+                    # Resolve through the import index: a local variable
+                    # shadowing ``np`` is not the numpy module.
+                    resolved = resolver.resolve(node.value)
+                    hit = (
+                        resolved is not None
+                        and resolved.split(".")[0] in self._FORBIDDEN_ROOTS
+                    )
+                else:
+                    hit = node.value.id in self._FORBIDDEN_NAMES
+                if hit:
                     yield self.finding(
                         ctx,
                         node,
@@ -553,6 +503,7 @@ class SupervisedPoolOnly(Rule):
         "construct process pools only in repro.harness.supervisor "
         "(use run_tasks/run_supervised elsewhere)"
     )
+    cacheable = True
 
     _ALLOWED_FILES = ("src/repro/harness/supervisor.py",)
 

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 serialisation of a reprolint report.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems ingest for code-scanning annotations; GitHub's
+code-scanning upload and most SARIF viewers accept exactly the subset
+emitted here: one ``run`` with a ``tool.driver`` describing every
+registered rule and one ``result`` per *new* finding (baselined
+findings are omitted - the baseline is the repo's accepted debt, and
+re-annotating it on every PR is noise).
+
+The output is deterministic: rules sorted by id, results in the
+analyzer's (path, line, col, rule) order, ``sort_keys`` JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .core import Finding, Rule
+
+__all__ = ["sarif_report", "write_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_report(
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    rules_version: str,
+) -> Dict[str, object]:
+    """The SARIF 2.1.0 log object for ``findings``."""
+    rule_objs: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in sorted(rules, key=lambda r: r.id):
+        rule_index[rule.id] = len(rule_objs)
+        rule_objs.append(
+            {
+                "id": rule.id,
+                "shortDescription": {"text": rule.description},
+                "fullDescription": {"text": rule.explain()},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": rules_version,
+                        "informationUri": (
+                            "https://example.invalid/repro/DESIGN.md"
+                        ),
+                        "rules": rule_objs,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: str,
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    rules_version: str,
+) -> None:
+    report = sarif_report(findings, rules, rules_version)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

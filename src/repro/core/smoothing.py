@@ -102,13 +102,13 @@ def segment_lse_max(
     candidates return ``empty_value``.  Implemented in shifted form so huge
     negative sentinels contribute zero weight rather than NaNs.
     """
-    m = xp.full(n_segments, _SENTINEL)
+    m = xp.full(n_segments, _SENTINEL, dtype=xp.float64)
     xp.maximum.at(m, segment_ids, candidates)
     shifted = xp.exp(
         xp.maximum((candidates - m[segment_ids]) / gamma, -700.0)
     )
     s = scatter_add(segment_ids, shifted, n_segments)
-    out = xp.full(n_segments, empty_value)
+    out = xp.full(n_segments, empty_value, dtype=xp.float64)
     nonempty = s > 0
     out[nonempty] = m[nonempty] + gamma * xp.log(s[nonempty])
     return out

@@ -1106,3 +1106,51 @@ def run_pool_unsupervised(
             if verbose:
                 print(record.summary())
     return records
+
+
+# ----------------------------------------------------------------------
+# Generic supervised fan-out for non-suite workloads
+# ----------------------------------------------------------------------
+def supervised_map(
+    fn: Any,
+    items: Sequence[Any],
+    jobs: int,
+) -> List[Any]:
+    """Map a picklable ``fn`` over ``items`` across spawn workers.
+
+    The general-purpose sibling of the suite fan-out, for workloads
+    (e.g. the reprolint ``--jobs`` analyzer shards) that want process
+    parallelism without the suite-task machinery.  It keeps the two
+    properties that matter: pools are constructed *here* (the
+    ``supervised-pool-only`` contract) and failures degrade instead of
+    crashing - any pool-level fault falls back to computing the
+    remaining items serially in-process.  Results are in ``items``
+    order.  Nested fan-out from inside a worker runs serially.
+    """
+    items = list(items)
+    jobs = max(1, min(jobs, len(items)))
+    if jobs <= 1 or len(items) <= 1 or _IN_WORKER:
+        return [fn(item) for item in items]
+    results: List[Any] = [None] * len(items)
+    done = [False] * len(items)
+    try:
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=ctx,
+            initializer=_pool_worker_init,
+            initargs=(None, ()),
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            for i, future in enumerate(futures):
+                results[i] = future.result()
+                done[i] = True
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException:
+        # Worker death, unpicklable payloads, spawn failure: finish the
+        # outstanding items serially rather than losing the run.
+        for i, item in enumerate(items):
+            if not done[i]:
+                results[i] = fn(item)
+    return results

@@ -233,8 +233,10 @@ class DensityModel:
         """Per-cell force from standard-layout fields (scipy path)."""
         base, _base_t, w00, w10, w01, w11 = stencil
         nb = self.nb
-        grad_x = xp.zeros(self.design.n_cells)
-        grad_y = xp.zeros(self.design.n_cells)
+        # Gradients are float64 at the model boundary regardless of the
+        # transform precision (module docstring).
+        grad_x = xp.zeros(self.design.n_cells, dtype=xp.float64)
+        grad_y = xp.zeros(self.design.n_cells, dtype=xp.float64)
         grad_x[self.movable] = -self._gather(
             ex, base, nb, 1, w00, w10, w01, w11
         )
@@ -254,13 +256,13 @@ class DensityModel:
         rho = (
             self._fixed_rho
             if self._fixed_rho is not None
-            else xp.zeros((self.nb, self.nb))
+            else xp.zeros((self.nb, self.nb), dtype=xp.float64)
         )
         return DensityResult(
             energy=0.0,
             overflow=0.0,
-            grad_x=xp.zeros(self.design.n_cells),
-            grad_y=xp.zeros(self.design.n_cells),
+            grad_x=xp.zeros(self.design.n_cells, dtype=xp.float64),
+            grad_y=xp.zeros(self.design.n_cells, dtype=xp.float64),
             density=rho / self.bin_area,
             potential=None,
         )
@@ -295,8 +297,8 @@ class DensityModel:
             gy = self._gather(ey, base, nb, 1, w00, w10, w01, w11)
             gx *= -1.0 / self.hx
             gy *= -1.0 / self.hy
-            grad_x = xp.zeros(self.design.n_cells)
-            grad_y = xp.zeros(self.design.n_cells)
+            grad_x = xp.zeros(self.design.n_cells, dtype=xp.float64)
+            grad_y = xp.zeros(self.design.n_cells, dtype=xp.float64)
             grad_x[self.movable] = gx
             grad_y[self.movable] = gy
         # Parseval: ortho transforms preserve inner products and the
@@ -304,6 +306,7 @@ class DensityModel:
         # (0.5 * sum(rho * phi) == 0.5 * sum(coeff * pot), any layout).
         energy = 0.5 * float(xp.sum(coeff_t * pot_t))
         if phi is not None:
+            # reprolint: allow[dtype-flow] potential leaves the model in float64 (boundary contract); fp32 plans upcast exactly here
             phi = phi.astype(xp.float64, copy=False)
         return self._finalize(rho, phi, energy, grad_x, grad_y)
 

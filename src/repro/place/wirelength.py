@@ -111,7 +111,9 @@ class WAWirelength:
         """Return (smooth WL, dWL/dcell_x, dWL/dcell_y)."""
         design = self.design
         weights = (
-            xp.ones(design.n_nets) if net_weights is None else net_weights
+            xp.ones(design.n_nets, dtype=xp.float64)
+            if net_weights is None
+            else net_weights
         )
         px, py = design.pin_positions(cell_x, cell_y)
         x = px[self.order]

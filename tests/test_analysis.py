@@ -145,7 +145,10 @@ class TestNoSilentNanFix:
         assert findings_of(run_analysis(root), "no-silent-nanfix") == []
 
 
-class TestSeededRng:
+class TestDeterminismTaintRngHeritage:
+    """The RNG-hygiene checks the old seeded-rng rule carried now live
+    in the determinism-taint family."""
+
     def test_flags_global_state_and_unseeded_rng(self, tmp_path):
         root = make_repo(
             tmp_path,
@@ -160,7 +163,7 @@ class TestSeededRng:
                 )
             },
         )
-        found = findings_of(run_analysis(root), "seeded-rng")
+        found = findings_of(run_analysis(root), "determinism-taint")
         assert len(found) == 3
 
     def test_seeded_generator_clean(self, tmp_path):
@@ -175,7 +178,29 @@ class TestSeededRng:
                 )
             },
         )
-        assert findings_of(run_analysis(root), "seeded-rng") == []
+        assert findings_of(run_analysis(root), "determinism-taint") == []
+
+    def test_shadowed_np_is_not_the_backend(self, tmp_path):
+        """Regression for the bare-name _is_numpy bug: a local variable
+        named ``np`` shadowing nothing numpy-related must not trip the
+        numpy-contract rules."""
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "def f(fake_backend, o, i, v):\n"
+                    "    np = fake_backend\n"
+                    "    np.random.seed(0)\n"
+                    "    np.add.at(o, i, v)\n"
+                    "    np.nan_to_num(o, copy=False)\n"
+                    "    return o\n"
+                )
+            },
+        )
+        report = run_analysis(root)
+        assert findings_of(report, "determinism-taint") == []
+        assert findings_of(report, "no-scatter-add-at") == []
+        assert findings_of(report, "no-silent-nanfix") == []
 
 
 class TestTelemetryKindLiteral:
@@ -287,7 +312,11 @@ class TestCheckpointCompleteness:
 
 
 class TestBackwardPair:
-    _TEST_FILE = "def test_foo_grad():\n    assert True\n"
+    _TEST_FILE = (
+        "from repro.core.kern import foo_forward_level\n"
+        "def test_foo_grad():\n"
+        "    assert foo_forward_level(1) == 1\n"
+    )
 
     def _kernel(self, backward="repro.core.kern.foo_backward",
                 gradcheck="tests/test_kern.py::test_foo_grad"):
@@ -308,7 +337,9 @@ class TestBackwardPair:
                 "tests/test_kern.py": self._TEST_FILE,
             },
         )
-        assert findings_of(run_analysis(root), "backward-pair") == []
+        report = run_analysis(root)
+        assert findings_of(report, "backward-pair") == []
+        assert findings_of(report, "contract-closure") == []
 
     def test_undecorated_forward_kernel_flagged(self, tmp_path):
         root = make_repo(
@@ -326,6 +357,9 @@ class TestBackwardPair:
         assert findings_of(run_analysis(root), "backward-pair") == []
 
     def test_dangling_backward_and_gradcheck_flagged(self, tmp_path):
+        # Resolution of the contract strings is the project-scope
+        # contract-closure rule's job (backward-pair only checks the
+        # decorator's shape).
         root = make_repo(
             tmp_path,
             {
@@ -336,7 +370,9 @@ class TestBackwardPair:
                 "tests/test_kern.py": self._TEST_FILE,
             },
         )
-        found = findings_of(run_analysis(root), "backward-pair")
+        report = run_analysis(root)
+        assert findings_of(report, "backward-pair") == []
+        found = findings_of(report, "contract-closure")
         assert len(found) == 2
         messages = " ".join(f.message for f in found)
         assert "missing_backward" in messages and "test_missing" in messages
@@ -381,7 +417,7 @@ class TestSuppressions:
             {
                 "src/repro/mod.py": (
                     "x = 1  # reprolint: allow[no-such-rule] whatever\n"
-                    "y = 2  # reprolint: allow[seeded-rng] nothing to suppress\n"
+                    "y = 2  # reprolint: allow[determinism-taint] nothing to suppress\n"
                 )
             },
         )
@@ -477,10 +513,13 @@ class TestCli:
         for rule_id in (
             "no-scatter-add-at",
             "no-silent-nanfix",
-            "seeded-rng",
             "telemetry-kind-literal",
             "checkpoint-completeness",
             "backward-pair",
+            "dtype-flow",
+            "spawn-safety",
+            "determinism-taint",
+            "contract-closure",
             "bad-suppression",
             "unused-suppression",
         ):
